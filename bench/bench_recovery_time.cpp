@@ -1,0 +1,91 @@
+// EXPERIMENT T5a (Theorem 5): a repair completes in O(log n) rounds.
+//
+// Two regimes on the distributed implementation:
+//   * hub repair — delete the center of a star of n leaves, the worst case
+//     (the tournament election over n candidates): rounds ~ log2(n);
+//   * steady churn — random deletions on a bounded-degree expander: rounds
+//     stay far below the log n envelope (constant-degree repairs).
+#include <cmath>
+#include <iostream>
+
+#include "adversary/adversary.hpp"
+#include "bench_common.hpp"
+#include "core/distributed_xheal.hpp"
+#include "core/session.hpp"
+#include "util/fit.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+using namespace xheal;
+
+int main() {
+    bench::experiment_header("T5a", "repair completes in O(log n) rounds (Theorem 5)");
+
+    // ---- hub repairs: rounds vs n ------------------------------------
+    util::Table hub_table({"n (star leaves)", "rounds", "log2(n)", "rounds/log2(n)"});
+    std::vector<double> ns, rounds_series;
+    bool hub_ok = true;
+    for (std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
+        graph::Graph g = workload::make_star(n);
+        core::DistributedXheal healer(core::XhealConfig{2, 5});
+        auto report = healer.on_delete(g, 0);
+        double logn = std::log2(static_cast<double>(n));
+        hub_table.row()
+            .add(n)
+            .add(report.rounds)
+            .add(logn, 2)
+            .add(static_cast<double>(report.rounds) / logn, 3);
+        ns.push_back(static_cast<double>(n));
+        rounds_series.push_back(static_cast<double>(report.rounds));
+        hub_ok = hub_ok && static_cast<double>(report.rounds) <= 3.0 * logn + 8.0;
+    }
+    hub_table.print(std::cout);
+    auto fit = util::fit_vs_log2(ns, rounds_series);
+    auto poly = util::fit_loglog(ns, rounds_series);
+    std::cout << "\nhub repair rounds vs log2(n): slope "
+              << util::format_double(fit.slope, 3) << " (r2 "
+              << util::format_double(fit.r2, 3) << "), log-log exponent "
+              << util::format_double(poly.slope, 3) << "\n\n";
+
+    // ---- steady churn: rounds stay under the envelope ------------------
+    util::Table churn_table({"n (4-regular)", "deletions", "mean rounds", "max rounds",
+                             "3*log2(n)+8"});
+    bool churn_ok = true;
+    util::Rng seed_rng(3);
+    for (std::size_t n : {32u, 128u, 512u}) {
+        graph::Graph initial = workload::make_random_regular(n, 4, seed_rng);
+        auto healer = std::make_unique<core::DistributedXheal>(core::XhealConfig{2, 7});
+        core::HealingSession session(std::move(initial), std::move(healer));
+        adversary::RandomDeletion attacker;
+        util::Rng rng(11);
+        util::RunningStats rounds;
+        std::size_t deletions = n / 4;
+        for (std::size_t i = 0; i < deletions; ++i) {
+            auto report = session.delete_node(attacker.pick(session, rng));
+            rounds.add(static_cast<double>(report.rounds));
+        }
+        double envelope = 3.0 * std::log2(static_cast<double>(n)) + 8.0;
+        churn_ok = churn_ok && rounds.max() <= envelope;
+        churn_table.row()
+            .add(n)
+            .add(deletions)
+            .add(rounds.mean(), 2)
+            .add(rounds.max(), 0)
+            .add(envelope, 1);
+    }
+    churn_table.print(std::cout);
+    std::cout << "\n";
+
+    // Shape: hub repairs grow ~1x log2(n) (fit slope ~1, strongly sub-
+    // polynomial); churn repairs stay below the O(log n) envelope.
+    bool pass = hub_ok && churn_ok && fit.slope >= 0.5 && fit.slope <= 2.5 &&
+                poly.slope < 0.5;
+    return bench::verdict("T5a", pass,
+                          "rounds/deletion grow like log2(n): fit slope " +
+                              util::format_double(fit.slope, 2) + ", exponent " +
+                              util::format_double(poly.slope, 2) +
+                              "; churn stays under the 3*log2(n)+8 envelope")
+               ? 0
+               : 1;
+}

@@ -1,0 +1,92 @@
+// Omniscient adversary: topology-aware attacks (hub kills, cut-point
+// kills) against Xheal and against the tree-style baseline, side by side.
+// Xheal holds expansion and spectral gap; the tree baseline decays.
+//
+//   ./adversarial_attack [n] [deletions] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "adversary/adversary.hpp"
+#include "baseline/baselines.hpp"
+#include "core/metrics.hpp"
+#include "core/session.hpp"
+#include "core/xheal_healer.hpp"
+#include "graph/algorithms.hpp"
+#include "spectral/expansion.hpp"
+#include "spectral/laplacian.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+struct Outcome {
+    bool connected = true;
+    double expansion = 0.0;
+    double lambda2 = 0.0;
+    double max_degree_ratio = 0.0;
+    double stretch = 0.0;
+};
+
+Outcome run(std::unique_ptr<xheal::core::Healer> healer,
+            xheal::adversary::DeletionStrategy& attacker, std::size_t n,
+            std::size_t deletions, std::uint64_t seed) {
+    using namespace xheal;
+    util::Rng rng(seed);
+    graph::Graph initial = workload::make_random_regular(n, 6, rng);
+    core::HealingSession session(initial, std::move(healer));
+    for (std::size_t i = 0; i < deletions && session.current().node_count() > 8; ++i) {
+        session.delete_node(attacker.pick(session, rng));
+    }
+    Outcome out;
+    const auto& g = session.current();
+    out.connected = graph::is_connected(g);
+    out.expansion = spectral::edge_expansion_estimate(g);
+    out.lambda2 = spectral::lambda2(g);
+    out.max_degree_ratio = core::degree_increase(g, session.reference()).max_ratio;
+    out.stretch = core::sampled_stretch(g, session.reference(), 12, rng);
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace xheal;
+
+    std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+    std::size_t deletions = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 24;
+    std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+
+    util::Table table({"attack", "healer", "connected", "h(G)~", "lambda2",
+                       "max-deg-ratio", "stretch"});
+    auto row = [&](std::string_view attack, std::string_view healer, const Outcome& o) {
+        table.row()
+            .add(std::string(attack))
+            .add(std::string(healer))
+            .add(o.connected)
+            .add(o.expansion, 3)
+            .add(o.lambda2, 4)
+            .add(o.max_degree_ratio, 2)
+            .add(o.stretch, 2);
+    };
+
+    adversary::MaxDegreeDeletion hub;
+    adversary::CutPointDeletion cut;
+    adversary::ColoredDegreeDeletion colored;
+
+    for (auto* attack : {static_cast<adversary::DeletionStrategy*>(&hub),
+                         static_cast<adversary::DeletionStrategy*>(&cut),
+                         static_cast<adversary::DeletionStrategy*>(&colored)}) {
+        row(attack->name(), "xheal",
+            run(std::make_unique<core::XhealHealer>(core::XhealConfig{3, seed}), *attack,
+                n, deletions, seed));
+        row(attack->name(), "forgiving-tree",
+            run(std::make_unique<baseline::ForgivingTreeStyleHealer>(), *attack, n,
+                deletions, seed));
+    }
+
+    std::cout << "6-regular random expander, n=" << n << ", " << deletions
+              << " adversarial deletions:\n\n";
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,155 @@
+#include "adversary/adversary.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "util/expects.hpp"
+
+namespace xheal::adversary {
+
+using core::HealingSession;
+using graph::NodeId;
+
+NodeId RandomDeletion::pick(const HealingSession& session, util::Rng& rng) {
+    auto alive = session.alive_nodes();
+    if (alive.empty()) return graph::invalid_node;
+    return alive[rng.index(alive.size())];
+}
+
+NodeId MaxDegreeDeletion::pick(const HealingSession& session, util::Rng&) {
+    const auto& g = session.current();
+    NodeId best = graph::invalid_node;
+    std::size_t best_degree = 0;
+    for (NodeId v : g.nodes_sorted()) {
+        std::size_t d = g.degree(v);
+        if (best == graph::invalid_node || d > best_degree) {
+            best = v;
+            best_degree = d;
+        }
+    }
+    return best;
+}
+
+NodeId MinDegreeDeletion::pick(const HealingSession& session, util::Rng&) {
+    const auto& g = session.current();
+    NodeId best = graph::invalid_node;
+    std::size_t best_degree = 0;
+    for (NodeId v : g.nodes_sorted()) {
+        std::size_t d = g.degree(v);
+        if (best == graph::invalid_node || d < best_degree) {
+            best = v;
+            best_degree = d;
+        }
+    }
+    return best;
+}
+
+NodeId CutPointDeletion::pick(const HealingSession& session, util::Rng& rng) {
+    const auto& g = session.current();
+    auto cuts = graph::articulation_points(g);
+    if (!cuts.empty()) return cuts[rng.index(cuts.size())];
+    return MaxDegreeDeletion{}.pick(session, rng);
+}
+
+NodeId ColoredDegreeDeletion::pick(const HealingSession& session, util::Rng& rng) {
+    const auto& g = session.current();
+    NodeId best = graph::invalid_node;
+    std::size_t best_colored = 0;
+    for (NodeId v : g.nodes_sorted()) {
+        std::size_t colored = 0;
+        for (const auto& [u, claims] : g.adjacency(v)) {
+            (void)u;
+            if (claims.colored()) ++colored;
+        }
+        if (best == graph::invalid_node || colored > best_colored) {
+            best = v;
+            best_colored = colored;
+        }
+    }
+    if (best_colored == 0) return RandomDeletion{}.pick(session, rng);
+    return best;
+}
+
+NodeId BridgeHunterDeletion::pick(const HealingSession& session, util::Rng& rng) {
+    XHEAL_EXPECTS(registry_ != nullptr);
+    const auto& g = session.current();
+    // Kill bridge nodes (members of a secondary cloud) with the most
+    // primary-cloud memberships: each kill forces a FixSecondary and burns
+    // a free node, steering the healer toward the combine path.
+    NodeId best = graph::invalid_node;
+    std::size_t best_score = 0;
+    for (NodeId v : g.nodes_sorted()) {
+        if (registry_->is_free(v)) continue;
+        std::size_t score = 1 + registry_->primary_clouds_of(v).size();
+        if (best == graph::invalid_node || score > best_score) {
+            best = v;
+            best_score = score;
+        }
+    }
+    if (best != graph::invalid_node) return best;
+    return ColoredDegreeDeletion{}.pick(session, rng);
+}
+
+std::vector<NodeId> RandomAttach::pick_neighbors(const HealingSession& session,
+                                                 util::Rng& rng) {
+    auto alive = session.alive_nodes();
+    if (alive.empty()) return {};
+    std::size_t k = std::min(k_, alive.size());
+    auto chosen = rng.sample(alive, k);
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+}
+
+std::vector<NodeId> PreferentialAttach::pick_neighbors(const HealingSession& session,
+                                                       util::Rng& rng) {
+    const auto& g = session.current();
+    auto alive = g.nodes_sorted();
+    if (alive.empty()) return {};
+    std::size_t k = std::min(k_, alive.size());
+
+    // Degree-proportional sampling without replacement (degree + 1 so
+    // isolated nodes stay reachable).
+    std::vector<NodeId> pool = alive;
+    std::vector<NodeId> chosen;
+    chosen.reserve(k);
+    for (std::size_t round = 0; round < k && !pool.empty(); ++round) {
+        double total = 0.0;
+        for (NodeId v : pool) total += static_cast<double>(g.degree(v) + 1);
+        double target = rng.uniform01() * total;
+        std::size_t pick_index = pool.size() - 1;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            acc += static_cast<double>(g.degree(pool[i]) + 1);
+            if (acc >= target) {
+                pick_index = i;
+                break;
+            }
+        }
+        chosen.push_back(pool[pick_index]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick_index));
+    }
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+}
+
+std::size_t run_churn(HealingSession& session, DeletionStrategy& deleter,
+                      InsertionStrategy& inserter, const ChurnConfig& config,
+                      util::Rng& rng) {
+    std::size_t deletions = 0;
+    for (std::size_t step = 0; step < config.steps; ++step) {
+        bool can_delete = session.current().node_count() > config.min_nodes;
+        if (can_delete && rng.chance(config.delete_fraction)) {
+            NodeId victim = deleter.pick(session, rng);
+            if (victim != graph::invalid_node) {
+                session.delete_node(victim);
+                ++deletions;
+                continue;
+            }
+        }
+        auto nbrs = inserter.pick_neighbors(session, rng);
+        if (!nbrs.empty()) session.insert_node(nbrs);
+    }
+    return deletions;
+}
+
+}  // namespace xheal::adversary

@@ -1,0 +1,122 @@
+// Adversary strategies for the node insert/delete model (paper Section 2).
+// The adversary knows the topology and the algorithm but not the healer's
+// private random bits. Deletion strategies pick a victim among alive nodes;
+// insertion strategies pick the neighbor set for a new node.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/cloud_registry.hpp"
+#include "core/session.hpp"
+#include "util/rng.hpp"
+
+namespace xheal::adversary {
+
+class DeletionStrategy {
+public:
+    virtual ~DeletionStrategy() = default;
+    virtual std::string_view name() const = 0;
+    /// Pick a victim among the alive nodes; invalid_node to skip.
+    virtual graph::NodeId pick(const core::HealingSession& session, util::Rng& rng) = 0;
+};
+
+/// Uniform random victim.
+class RandomDeletion : public DeletionStrategy {
+public:
+    std::string_view name() const override { return "random"; }
+    graph::NodeId pick(const core::HealingSession& session, util::Rng& rng) override;
+};
+
+/// Always the highest-degree alive node (hub attack; ties by lowest id).
+class MaxDegreeDeletion : public DeletionStrategy {
+public:
+    std::string_view name() const override { return "max-degree"; }
+    graph::NodeId pick(const core::HealingSession& session, util::Rng& rng) override;
+};
+
+/// Always the lowest-degree alive node.
+class MinDegreeDeletion : public DeletionStrategy {
+public:
+    std::string_view name() const override { return "min-degree"; }
+    graph::NodeId pick(const core::HealingSession& session, util::Rng& rng) override;
+};
+
+/// Prefers articulation points (cut vertices) — the most damaging victim a
+/// topology-aware adversary can pick; falls back to max degree.
+class CutPointDeletion : public DeletionStrategy {
+public:
+    std::string_view name() const override { return "cut-point"; }
+    graph::NodeId pick(const core::HealingSession& session, util::Rng& rng) override;
+};
+
+/// Targets nodes with the most colored (healer-added) incident edges:
+/// stresses cloud repair paths. Pure topology knowledge.
+class ColoredDegreeDeletion : public DeletionStrategy {
+public:
+    std::string_view name() const override { return "colored-degree"; }
+    graph::NodeId pick(const core::HealingSession& session, util::Rng& rng) override;
+};
+
+/// White-box stress strategy: reads the Xheal registry and kills bridge
+/// (non-free) nodes first, starving clouds of free nodes to force the
+/// costly combine path. Used by the amortization bench and failure tests.
+class BridgeHunterDeletion : public DeletionStrategy {
+public:
+    explicit BridgeHunterDeletion(const core::CloudRegistry* registry)
+        : registry_(registry) {}
+    std::string_view name() const override { return "bridge-hunter"; }
+    graph::NodeId pick(const core::HealingSession& session, util::Rng& rng) override;
+
+private:
+    const core::CloudRegistry* registry_;
+};
+
+class InsertionStrategy {
+public:
+    virtual ~InsertionStrategy() = default;
+    virtual std::string_view name() const = 0;
+    /// Pick the neighbor set (non-empty unless the graph is empty).
+    virtual std::vector<graph::NodeId> pick_neighbors(const core::HealingSession& session,
+                                                      util::Rng& rng) = 0;
+};
+
+/// Attach to k random alive nodes.
+class RandomAttach : public InsertionStrategy {
+public:
+    explicit RandomAttach(std::size_t k) : k_(k) {}
+    std::string_view name() const override { return "random-attach"; }
+    std::vector<graph::NodeId> pick_neighbors(const core::HealingSession& session,
+                                              util::Rng& rng) override;
+
+private:
+    std::size_t k_;
+};
+
+/// Attach to k nodes drawn proportionally to degree (rich-get-richer).
+class PreferentialAttach : public InsertionStrategy {
+public:
+    explicit PreferentialAttach(std::size_t k) : k_(k) {}
+    std::string_view name() const override { return "preferential-attach"; }
+    std::vector<graph::NodeId> pick_neighbors(const core::HealingSession& session,
+                                              util::Rng& rng) override;
+
+private:
+    std::size_t k_;
+};
+
+/// Mixed insert/delete churn driver: at each step deletes with probability
+/// delete_fraction (when above min_nodes), otherwise inserts.
+struct ChurnConfig {
+    std::size_t steps = 100;
+    double delete_fraction = 0.5;
+    std::size_t min_nodes = 4;
+};
+
+/// Runs the churn; returns the number of deletions performed.
+std::size_t run_churn(core::HealingSession& session, DeletionStrategy& deleter,
+                      InsertionStrategy& inserter, const ChurnConfig& config,
+                      util::Rng& rng);
+
+}  // namespace xheal::adversary

@@ -1,0 +1,99 @@
+#include "baseline/baselines.hpp"
+
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace xheal::baseline {
+
+using core::RepairReport;
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// Snapshot neighbors, remove the node, return the neighbor list.
+std::vector<NodeId> take_out(Graph& g, NodeId v) {
+    XHEAL_EXPECTS(g.has_node(v));
+    auto nbrs = g.neighbors_sorted(v);
+    g.remove_node(v);
+    return nbrs;
+}
+
+/// Add (u, w) as a black repair edge unless already present; counts
+/// additions.
+void repair_edge(Graph& g, NodeId u, NodeId w, RepairReport& report) {
+    if (u == w) return;
+    if (!g.has_edge(u, w)) ++report.edges_added;
+    g.add_black_edge(u, w);
+}
+
+}  // namespace
+
+RepairReport NoHealHealer::on_delete(Graph& g, NodeId v) {
+    take_out(g, v);
+    return {};
+}
+
+RepairReport LineHealer::on_delete(Graph& g, NodeId v) {
+    RepairReport report;
+    auto nbrs = take_out(g, v);
+    for (std::size_t i = 0; i + 1 < nbrs.size(); ++i)
+        repair_edge(g, nbrs[i], nbrs[i + 1], report);
+    return report;
+}
+
+RepairReport CycleHealer::on_delete(Graph& g, NodeId v) {
+    RepairReport report;
+    auto nbrs = take_out(g, v);
+    for (std::size_t i = 0; i + 1 < nbrs.size(); ++i)
+        repair_edge(g, nbrs[i], nbrs[i + 1], report);
+    if (nbrs.size() >= 3) repair_edge(g, nbrs.back(), nbrs.front(), report);
+    return report;
+}
+
+RepairReport StarHealer::on_delete(Graph& g, NodeId v) {
+    RepairReport report;
+    auto nbrs = take_out(g, v);
+    if (nbrs.size() < 2) return report;
+    NodeId hub = nbrs.front();
+    for (std::size_t i = 1; i < nbrs.size(); ++i) repair_edge(g, hub, nbrs[i], report);
+    return report;
+}
+
+RepairReport ForgivingTreeStyleHealer::on_delete(Graph& g, NodeId v) {
+    RepairReport report;
+    auto nbrs = take_out(g, v);
+    // Balanced binary tree over the neighbor list: node i links to its heap
+    // parent (i-1)/2. Degree increase per node <= 3, diameter O(log n) —
+    // the Forgiving Tree shape.
+    for (std::size_t i = 1; i < nbrs.size(); ++i)
+        repair_edge(g, nbrs[i], nbrs[(i - 1) / 2], report);
+    return report;
+}
+
+RandomMatchHealer::RandomMatchHealer(std::size_t edges_per_node, std::uint64_t seed)
+    : edges_per_node_(edges_per_node), rng_(seed) {
+    XHEAL_EXPECTS(edges_per_node >= 1);
+}
+
+RepairReport RandomMatchHealer::on_delete(Graph& g, NodeId v) {
+    RepairReport report;
+    auto nbrs = take_out(g, v);
+    if (nbrs.size() < 2) return report;
+    for (NodeId u : nbrs) {
+        std::size_t wanted = std::min(edges_per_node_, nbrs.size() - 1);
+        for (std::size_t k = 0; k < wanted; ++k) {
+            NodeId w = nbrs[rng_.index(nbrs.size())];
+            repair_edge(g, u, w, report);
+        }
+    }
+    // Random stabs can miss some neighbor entirely and (rarely) leave the
+    // patch disconnected; chain as a safety net exactly like the paper's
+    // model permits (nodes may add edges to any known node).
+    for (std::size_t i = 0; i + 1 < nbrs.size(); ++i)
+        repair_edge(g, nbrs[i], nbrs[i + 1], report);
+    return report;
+}
+
+}  // namespace xheal::baseline

@@ -1,0 +1,71 @@
+// Baseline healers the paper compares against (conceptually):
+//
+//   * NoHealHealer        — drop the node, add nothing (lower bound).
+//   * LineHealer          — connect the deleted node's neighbors in a path
+//                           (minimal degree increase, terrible stretch).
+//   * CycleHealer         — path closed into a cycle.
+//   * StarHealer          — one neighbor becomes a hub for the rest (good
+//                           stretch, unbounded degree blowup).
+//   * ForgivingTreeStyleHealer — balanced binary tree among the neighbors:
+//                           the real-network effect of Forgiving Tree /
+//                           Forgiving Graph [PODC'08/'09]. Keeps degree and
+//                           stretch bounded but, as the paper argues, tree
+//                           repairs destroy expansion (the star example:
+//                           h drops to O(1/n)).
+//   * RandomMatchHealer   — k random edges per neighbor with no cloud
+//                           bookkeeping; ablation showing why Xheal's
+//                           structure (not just randomness) matters.
+//
+// Baseline repair edges are added as black claims — these healers have no
+// color machinery and the metrics are color-agnostic.
+#pragma once
+
+#include <cstddef>
+
+#include "core/healer.hpp"
+#include "util/rng.hpp"
+
+namespace xheal::baseline {
+
+class NoHealHealer : public core::Healer {
+public:
+    std::string_view name() const override { return "no-heal"; }
+    core::RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
+};
+
+class LineHealer : public core::Healer {
+public:
+    std::string_view name() const override { return "line"; }
+    core::RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
+};
+
+class CycleHealer : public core::Healer {
+public:
+    std::string_view name() const override { return "cycle"; }
+    core::RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
+};
+
+class StarHealer : public core::Healer {
+public:
+    std::string_view name() const override { return "star"; }
+    core::RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
+};
+
+class ForgivingTreeStyleHealer : public core::Healer {
+public:
+    std::string_view name() const override { return "forgiving-tree"; }
+    core::RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
+};
+
+class RandomMatchHealer : public core::Healer {
+public:
+    explicit RandomMatchHealer(std::size_t edges_per_node = 3, std::uint64_t seed = 7);
+    std::string_view name() const override { return "random-match"; }
+    core::RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
+
+private:
+    std::size_t edges_per_node_;
+    util::Rng rng_;
+};
+
+}  // namespace xheal::baseline

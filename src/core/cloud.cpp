@@ -1,0 +1,15 @@
+#include "core/cloud.hpp"
+
+namespace xheal::core {
+
+std::string_view to_string(CloudKind kind) {
+    switch (kind) {
+        case CloudKind::primary:
+            return "primary";
+        case CloudKind::secondary:
+            return "secondary";
+    }
+    return "unknown";
+}
+
+}  // namespace xheal::core

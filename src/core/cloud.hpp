@@ -1,0 +1,58 @@
+// Expander-cloud bookkeeping shared by the centralized and distributed
+// Xheal implementations.
+//
+// A *primary* cloud is the kappa-regular expander (or clique) Xheal builds
+// over the neighbors of a deleted node; a *secondary* cloud connects one
+// "bridge" node from each of several primary clouds. Nodes that belong to no
+// secondary cloud are *free*; a bridge node belongs to exactly one secondary
+// cloud and is associated with at most one primary cloud on whose behalf it
+// bridges (paper Section 3).
+#pragma once
+
+#include <set>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "expander/cloud_topology.hpp"
+#include "graph/types.hpp"
+
+namespace xheal::core {
+
+enum class CloudKind { primary, secondary };
+
+std::string_view to_string(CloudKind kind);
+
+struct Cloud {
+    graph::ColorId color = graph::invalid_color;
+    CloudKind kind = CloudKind::primary;
+    expander::CloudTopology topology;
+
+    /// Mirror of the color claims this cloud currently holds in the network
+    /// graph (pairs normalized u < v). Kept in lock-step by CloudRegistry.
+    std::set<std::pair<graph::NodeId, graph::NodeId>> claimed;
+
+    /// Secondary clouds only: which primary cloud each bridge member
+    /// represents; invalid_color for bridges that entered as singleton units
+    /// (e.g. black neighbors of a deleted node).
+    std::unordered_map<graph::NodeId, graph::ColorId> bridge_assoc;
+
+    /// Distributed invariants (paper Section 5, Case 1): every cloud keeps a
+    /// randomly chosen leader plus a vice-leader that takes over when the
+    /// leader is deleted.
+    graph::NodeId leader = graph::invalid_node;
+    graph::NodeId vice_leader = graph::invalid_node;
+
+    /// Number of half-loss reconstructions this cloud has undergone.
+    std::size_t rebuild_count = 0;
+
+    Cloud(graph::ColorId c, CloudKind k, expander::CloudTopology topo)
+        : color(c), kind(k), topology(std::move(topo)) {}
+
+    std::size_t size() const { return topology.size(); }
+    bool has_member(graph::NodeId v) const { return topology.contains(v); }
+    std::vector<graph::NodeId> members_sorted() const { return topology.members_sorted(); }
+};
+
+}  // namespace xheal::core

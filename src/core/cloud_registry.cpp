@@ -1,0 +1,293 @@
+#include "core/cloud_registry.hpp"
+
+#include <algorithm>
+
+#include "util/expects.hpp"
+
+namespace xheal::core {
+
+using graph::ColorId;
+using graph::Graph;
+using graph::NodeId;
+
+CloudRegistry::CloudRegistry(std::size_t d, bool rebuild_on_half_loss)
+    : d_(d), rebuild_on_half_loss_(rebuild_on_half_loss) {
+    XHEAL_EXPECTS(d >= 1);
+}
+
+ColorId CloudRegistry::create_cloud(Graph& g, CloudKind kind,
+                                    const std::vector<NodeId>& members, util::Rng& rng,
+                                    std::size_t* claims_added) {
+    XHEAL_EXPECTS(members.size() >= 2);
+    for (NodeId v : members) XHEAL_EXPECTS(g.has_node(v));
+    if (kind == CloudKind::secondary) {
+        for (NodeId v : members) XHEAL_EXPECTS(is_free(v));
+    }
+
+    ColorId color = next_color_++;
+    auto cloud = std::make_unique<Cloud>(
+        color, kind, expander::CloudTopology(members, d_, rng));
+    for (NodeId v : cloud->members_sorted()) register_membership(v, color);
+    Cloud& ref = *cloud;
+    clouds_.emplace(color, std::move(cloud));
+    sync_claims(g, ref, claims_added, nullptr);
+    fix_leadership(ref, rng);
+    return color;
+}
+
+void CloudRegistry::destroy_cloud(Graph& g, ColorId color, std::size_t* claims_removed) {
+    Cloud* cloud = find(color);
+    XHEAL_EXPECTS(cloud != nullptr);
+    for (const auto& [u, v] : cloud->claimed) {
+        if (g.has_node(u) && g.has_node(v)) {
+            g.remove_color_claim(u, v, color);
+            if (claims_removed != nullptr) ++*claims_removed;
+        }
+    }
+    for (NodeId v : cloud->members_sorted()) unregister_membership(v, color);
+    clouds_.erase(color);
+}
+
+NodeId CloudRegistry::remove_member(Graph& g, ColorId color, NodeId v, util::Rng& rng,
+                                    bool deleted_from_graph, std::size_t* claims_added,
+                                    std::size_t* claims_removed) {
+    Cloud* cloud = find(color);
+    XHEAL_EXPECTS(cloud != nullptr);
+    XHEAL_EXPECTS(cloud->has_member(v));
+
+    // Purge claims that touch v. If v is still in the graph the claims must
+    // be physically released; if the adversary already deleted v the edges
+    // are gone and only the mirror set needs cleaning.
+    for (auto it = cloud->claimed.begin(); it != cloud->claimed.end();) {
+        if (it->first == v || it->second == v) {
+            if (!deleted_from_graph) {
+                g.remove_color_claim(it->first, it->second, color);
+                if (claims_removed != nullptr) ++*claims_removed;
+            }
+            it = cloud->claimed.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    unregister_membership(v, color);
+    cloud->bridge_assoc.erase(v);
+
+    if (cloud->size() <= 2) {
+        // Dissolve: fewer than 2 members remain after v leaves.
+        auto members = cloud->members_sorted();
+        NodeId survivor = graph::invalid_node;
+        for (NodeId m : members) {
+            if (m != v) survivor = m;
+        }
+        // All remaining claims involve v only (a 2-member cloud has one
+        // edge); release anything left for safety.
+        for (const auto& [a, b] : cloud->claimed) {
+            if (g.has_node(a) && g.has_node(b)) {
+                g.remove_color_claim(a, b, color);
+                if (claims_removed != nullptr) ++*claims_removed;
+            }
+        }
+        if (survivor != graph::invalid_node) unregister_membership(survivor, color);
+        clouds_.erase(color);
+        return survivor;
+    }
+
+    cloud->topology.remove(v, rng);
+    if (rebuild_on_half_loss_ && cloud->topology.needs_rebuild()) {
+        cloud->topology.rebuild(rng);
+        ++cloud->rebuild_count;
+    }
+    sync_claims(g, *cloud, claims_added, claims_removed);
+    if (cloud->leader == v || cloud->vice_leader == v) fix_leadership(*cloud, rng);
+    return graph::invalid_node;
+}
+
+void CloudRegistry::insert_member(Graph& g, ColorId color, NodeId v, util::Rng& rng,
+                                  std::size_t* claims_added, std::size_t* claims_removed) {
+    Cloud* cloud = find(color);
+    XHEAL_EXPECTS(cloud != nullptr);
+    XHEAL_EXPECTS(g.has_node(v));
+    XHEAL_EXPECTS(!cloud->has_member(v));
+    cloud->topology.insert(v, rng);
+    register_membership(v, color);
+    sync_claims(g, *cloud, claims_added, claims_removed);
+}
+
+Cloud* CloudRegistry::find(ColorId color) {
+    auto it = clouds_.find(color);
+    return it == clouds_.end() ? nullptr : it->second.get();
+}
+
+const Cloud* CloudRegistry::find(ColorId color) const {
+    auto it = clouds_.find(color);
+    return it == clouds_.end() ? nullptr : it->second.get();
+}
+
+std::vector<ColorId> CloudRegistry::primary_clouds_of(NodeId v) const {
+    std::vector<ColorId> out;
+    auto it = memberships_.find(v);
+    if (it == memberships_.end()) return out;
+    for (ColorId c : it->second) {
+        const Cloud* cloud = find(c);
+        if (cloud != nullptr && cloud->kind == CloudKind::primary) out.push_back(c);
+    }
+    return out;  // std::set iteration is already ascending
+}
+
+std::optional<ColorId> CloudRegistry::secondary_cloud_of(NodeId v) const {
+    auto it = memberships_.find(v);
+    if (it == memberships_.end()) return std::nullopt;
+    for (ColorId c : it->second) {
+        const Cloud* cloud = find(c);
+        if (cloud != nullptr && cloud->kind == CloudKind::secondary) return c;
+    }
+    return std::nullopt;
+}
+
+std::vector<NodeId> CloudRegistry::free_members_of(ColorId color) const {
+    const Cloud* cloud = find(color);
+    XHEAL_EXPECTS(cloud != nullptr);
+    std::vector<NodeId> out;
+    for (NodeId v : cloud->members_sorted()) {
+        if (is_free(v)) out.push_back(v);
+    }
+    return out;
+}
+
+std::vector<ColorId> CloudRegistry::colors() const {
+    std::vector<ColorId> out;
+    out.reserve(clouds_.size());
+    for (const auto& [c, _] : clouds_) out.push_back(c);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool CloudRegistry::in_any_cloud(NodeId v) const {
+    auto it = memberships_.find(v);
+    return it != memberships_.end() && !it->second.empty();
+}
+
+void CloudRegistry::sync_claims(Graph& g, Cloud& cloud, std::size_t* added,
+                                std::size_t* removed) {
+    auto edges = cloud.topology.edges();
+    std::set<std::pair<NodeId, NodeId>> desired(edges.begin(), edges.end());
+
+    for (auto it = cloud.claimed.begin(); it != cloud.claimed.end();) {
+        if (!desired.contains(*it)) {
+            g.remove_color_claim(it->first, it->second, cloud.color);
+            if (removed != nullptr) ++*removed;
+            it = cloud.claimed.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (const auto& [u, v] : desired) {
+        if (cloud.claimed.contains({u, v})) continue;
+        g.add_color_claim(u, v, cloud.color);
+        cloud.claimed.emplace(u, v);
+        if (added != nullptr) ++*added;
+    }
+}
+
+void CloudRegistry::fix_leadership(Cloud& cloud, util::Rng& rng) {
+    auto members = cloud.members_sorted();
+    XHEAL_ASSERT(!members.empty());
+    bool leader_alive = cloud.leader != graph::invalid_node &&
+                        cloud.has_member(cloud.leader);
+    if (!leader_alive) {
+        // If the vice-leader survived it takes over (paper invariant d);
+        // otherwise elect a fresh random leader.
+        if (cloud.vice_leader != graph::invalid_node && cloud.has_member(cloud.vice_leader)) {
+            cloud.leader = cloud.vice_leader;
+            cloud.vice_leader = graph::invalid_node;
+        } else {
+            cloud.leader = members[rng.index(members.size())];
+        }
+    }
+    bool vice_ok = cloud.vice_leader != graph::invalid_node &&
+                   cloud.has_member(cloud.vice_leader) && cloud.vice_leader != cloud.leader;
+    if (!vice_ok) {
+        cloud.vice_leader = graph::invalid_node;
+        if (members.size() >= 2) {
+            do {
+                cloud.vice_leader = members[rng.index(members.size())];
+            } while (cloud.vice_leader == cloud.leader);
+        }
+    }
+}
+
+void CloudRegistry::register_membership(NodeId v, ColorId color) {
+    memberships_[v].insert(color);
+}
+
+void CloudRegistry::unregister_membership(NodeId v, ColorId color) {
+    auto it = memberships_.find(v);
+    if (it == memberships_.end()) return;
+    it->second.erase(color);
+    if (it->second.empty()) memberships_.erase(it);
+}
+
+void CloudRegistry::verify(const Graph& g) const {
+    for (const auto& [color, cloud] : clouds_) {
+        XHEAL_ASSERT(cloud->color == color);
+        XHEAL_ASSERT(cloud->size() >= 2);
+        auto members = cloud->members_sorted();
+        for (NodeId v : members) {
+            XHEAL_ASSERT(g.has_node(v));
+            auto it = memberships_.find(v);
+            XHEAL_ASSERT(it != memberships_.end() && it->second.contains(color));
+        }
+        // Claims mirror the graph exactly and stay within the membership.
+        auto edges = cloud->topology.edges();
+        std::set<std::pair<NodeId, NodeId>> desired(edges.begin(), edges.end());
+        XHEAL_ASSERT(desired == cloud->claimed);
+        for (const auto& [u, v] : cloud->claimed) {
+            XHEAL_ASSERT(cloud->has_member(u) && cloud->has_member(v));
+            XHEAL_ASSERT(g.has_color_claim(u, v, color));
+        }
+        // Leadership invariant.
+        XHEAL_ASSERT(cloud->leader != graph::invalid_node);
+        XHEAL_ASSERT(cloud->has_member(cloud->leader));
+        if (cloud->size() >= 2) {
+            XHEAL_ASSERT(cloud->vice_leader != graph::invalid_node);
+            XHEAL_ASSERT(cloud->has_member(cloud->vice_leader));
+            XHEAL_ASSERT(cloud->vice_leader != cloud->leader);
+        }
+        if (cloud->kind == CloudKind::secondary) {
+            for (const auto& [v, assoc] : cloud->bridge_assoc) {
+                XHEAL_ASSERT(cloud->has_member(v));
+                if (assoc != graph::invalid_color) {
+                    const Cloud* prim = find(assoc);
+                    // The associated primary may have been dissolved since;
+                    // if alive it must be primary and contain the bridge.
+                    if (prim != nullptr) {
+                        XHEAL_ASSERT(prim->kind == CloudKind::primary);
+                        XHEAL_ASSERT(prim->has_member(v));
+                    }
+                }
+            }
+        }
+    }
+    // Membership map has no dangling colors, and the "at most one secondary
+    // cloud per node" invariant holds.
+    for (const auto& [v, colors] : memberships_) {
+        std::size_t secondary_count = 0;
+        for (ColorId c : colors) {
+            const Cloud* cloud = find(c);
+            XHEAL_ASSERT(cloud != nullptr);
+            XHEAL_ASSERT(cloud->has_member(v));
+            if (cloud->kind == CloudKind::secondary) ++secondary_count;
+        }
+        XHEAL_ASSERT(secondary_count <= 1);
+    }
+    // Every color claim in the graph belongs to a live cloud that mirrors it.
+    g.for_each_edge([&](NodeId u, NodeId v, const graph::EdgeClaims& claims) {
+        for (ColorId c : claims.colors) {
+            const Cloud* cloud = find(c);
+            XHEAL_ASSERT(cloud != nullptr);
+            XHEAL_ASSERT(cloud->claimed.contains({std::min(u, v), std::max(u, v)}));
+        }
+    });
+}
+
+}  // namespace xheal::core

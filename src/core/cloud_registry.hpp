@@ -1,0 +1,116 @@
+// Mechanical layer of Xheal's cloud management.
+//
+// CloudRegistry owns all clouds, tracks node -> cloud memberships and keeps
+// each cloud's color claims in the network graph synchronized with its
+// topology (creating, rebuilding, growing and shrinking clouds). Policy —
+// which clouds to form, free-node selection, sharing, combining — lives in
+// XhealHealer; the registry only provides safe primitives and maintains the
+// structural invariants:
+//
+//   * a color claim on (u, v) exists iff the cloud of that color has both
+//     u and v as members and its topology contains the pair;
+//   * a node belongs to at most one secondary cloud;
+//   * every cloud has >= 2 members (smaller clouds are dissolved);
+//   * every cloud has a leader and (when size >= 2) a distinct vice-leader.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cloud.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace xheal::core {
+
+class CloudRegistry {
+public:
+    /// d = Hamilton-cycle count of cloud expanders; kappa = 2d.
+    /// rebuild_on_half_loss applies the paper's Section-5 rule that a cloud
+    /// losing half its membership is reconstructed from a fresh random
+    /// H-graph (disable only for the bench_ablation study).
+    explicit CloudRegistry(std::size_t d, bool rebuild_on_half_loss = true);
+
+    std::size_t d() const { return d_; }
+    std::size_t kappa() const { return 2 * d_; }
+
+    // ----- cloud lifecycle -----
+
+    /// Create a cloud over `members` (>= 2 distinct, all present in g),
+    /// claim its edges in g and register memberships. Returns its color.
+    graph::ColorId create_cloud(graph::Graph& g, CloudKind kind,
+                                const std::vector<graph::NodeId>& members,
+                                util::Rng& rng, std::size_t* claims_added = nullptr);
+
+    /// Remove all of the cloud's claims from g and unregister it.
+    void destroy_cloud(graph::Graph& g, graph::ColorId color,
+                       std::size_t* claims_removed = nullptr);
+
+    /// Remove member v from the cloud. If `deleted_from_graph`, v's incident
+    /// edges are already gone from g and only bookkeeping is purged.
+    /// Dissolves the cloud if fewer than 2 members remain and returns the
+    /// surviving member (invalid_node otherwise). Applies the half-loss
+    /// rebuild rule and repairs the leader/vice-leader invariant.
+    graph::NodeId remove_member(graph::Graph& g, graph::ColorId color, graph::NodeId v,
+                                util::Rng& rng, bool deleted_from_graph,
+                                std::size_t* claims_added = nullptr,
+                                std::size_t* claims_removed = nullptr);
+
+    /// Add member v (present in g) to the cloud, claim the new edges.
+    void insert_member(graph::Graph& g, graph::ColorId color, graph::NodeId v,
+                       util::Rng& rng, std::size_t* claims_added = nullptr,
+                       std::size_t* claims_removed = nullptr);
+
+    // ----- queries -----
+
+    Cloud* find(graph::ColorId color);
+    const Cloud* find(graph::ColorId color) const;
+    bool exists(graph::ColorId color) const { return clouds_.contains(color); }
+
+    /// Colors of the primary clouds containing v, ascending. Empty if none.
+    std::vector<graph::ColorId> primary_clouds_of(graph::NodeId v) const;
+
+    /// The (unique) secondary cloud containing v, if any.
+    std::optional<graph::ColorId> secondary_cloud_of(graph::NodeId v) const;
+
+    /// Free = member of no secondary cloud (paper Section 3).
+    bool is_free(graph::NodeId v) const { return !secondary_cloud_of(v).has_value(); }
+
+    /// Free members of a cloud, ascending.
+    std::vector<graph::NodeId> free_members_of(graph::ColorId color) const;
+
+    /// All live colors, ascending.
+    std::vector<graph::ColorId> colors() const;
+
+    std::size_t cloud_count() const { return clouds_.size(); }
+
+    /// True if v belongs to at least one cloud.
+    bool in_any_cloud(graph::NodeId v) const;
+
+    /// Verify every structural invariant against the graph; throws on
+    /// violation. O(total cloud size); used by tests and failure injection.
+    void verify(const graph::Graph& g) const;
+
+private:
+    /// Diff the cloud's topology edges against its current claims and apply
+    /// the changes to g. Counts added/removed claims if requested.
+    void sync_claims(graph::Graph& g, Cloud& cloud, std::size_t* added,
+                     std::size_t* removed);
+
+    /// Re-establish leader and vice-leader after membership changed.
+    void fix_leadership(Cloud& cloud, util::Rng& rng);
+
+    void register_membership(graph::NodeId v, graph::ColorId color);
+    void unregister_membership(graph::NodeId v, graph::ColorId color);
+
+    std::size_t d_;
+    bool rebuild_on_half_loss_;
+    graph::ColorId next_color_ = 1;  // 0 is invalid_color
+    std::unordered_map<graph::ColorId, std::unique_ptr<Cloud>> clouds_;
+    std::unordered_map<graph::NodeId, std::set<graph::ColorId>> memberships_;
+};
+
+}  // namespace xheal::core

@@ -1,0 +1,246 @@
+#include "core/distributed_xheal.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/expects.hpp"
+
+namespace xheal::core {
+
+using graph::ColorId;
+using graph::Graph;
+using graph::NodeId;
+
+DistributedXheal::DistributedXheal(XhealConfig config) : inner_(config) {}
+
+void DistributedXheal::ensure_attached(const Graph& g) {
+    if (attached_) return;
+    for (NodeId v : g.nodes_sorted()) {
+        if (!net_.has_node(v)) net_.add_node(v);
+    }
+    attached_ = true;
+}
+
+void DistributedXheal::on_insert(Graph& g, NodeId v) {
+    ensure_attached(g);
+    if (!net_.has_node(v)) net_.add_node(v);
+    // Insertion requires no healing work (paper Section 5); neighbors'
+    // NoN bookkeeping is part of the model's O(1) preprocessing.
+    inner_.on_insert(g, v);
+}
+
+RepairReport DistributedXheal::on_delete(Graph& g, NodeId v) {
+    ensure_attached(g);
+    XHEAL_EXPECTS(g.has_node(v));
+    std::vector<NodeId> nbrs = g.neighbors_sorted(v);
+
+    RepairReport report = inner_.on_delete(g, v);
+    if (net_.has_node(v)) net_.remove_node(v);
+
+    std::uint64_t messages_before = net_.messages_sent();
+    std::uint64_t rounds_before = net_.rounds_executed();
+
+    phase_deletion_notice(v, nbrs);
+    for (const HealEvent& event : inner_.last_events()) {
+        switch (event.kind) {
+            case HealEvent::Kind::fix_cloud:
+                phase_fix_cloud(event);
+                break;
+            case HealEvent::Kind::dissolve_cloud:
+                phase_dissolve(event);
+                break;
+            case HealEvent::Kind::create_primary:
+            case HealEvent::Kind::create_secondary:
+                phase_create_cloud(event);
+                break;
+            case HealEvent::Kind::insert_member:
+                phase_insert_member(event);
+                break;
+            case HealEvent::Kind::combine:
+                phase_combine(event);
+                break;
+        }
+    }
+    XHEAL_ASSERT(net_.idle());
+
+    last_messages_ = net_.messages_sent() - messages_before;
+    last_rounds_ = static_cast<std::size_t>(net_.rounds_executed() - rounds_before);
+    report.messages = last_messages_;
+    report.rounds = last_rounds_;
+    return report;
+}
+
+void DistributedXheal::check_consistency(const Graph& g) const {
+    inner_.check_consistency(g);
+    // Every alive graph node must have a network actor once attached.
+    if (attached_) {
+        for (NodeId v : g.nodes_sorted()) XHEAL_ASSERT(net_.has_node(v));
+    }
+}
+
+void DistributedXheal::phase_deletion_notice(NodeId v, const std::vector<NodeId>& nbrs) {
+    for (NodeId u : nbrs) net_.post(v, u, sim::tag::deletion_notice);
+    net_.step();
+}
+
+void DistributedXheal::phase_fix_cloud(const HealEvent& event) {
+    const Cloud* cloud = registry().find(event.color);
+    if (cloud == nullptr) return;  // destroyed by a later combine
+    auto members = cloud->members_sorted();
+    if (members.empty()) return;
+
+    // H-graph DELETE splice: the deleted node's <= kappa cycle neighbors
+    // reconnect pairwise — O(kappa) messages, one round.
+    std::size_t splices = std::min(kappa(), members.size());
+    for (std::size_t i = 0; i < splices; ++i) {
+        NodeId a = members[i % members.size()];
+        NodeId b = members[(i + 1) % members.size()];
+        if (a != b) net_.post(a, b, sim::tag::splice);
+    }
+    net_.step();
+
+    if (event.leader_was_deleted) {
+        // Vice-leader takes over and announces itself to the cloud.
+        NodeId announcer = cloud->leader;
+        for (NodeId m : members) {
+            if (m != announcer) net_.post(announcer, m, sim::tag::leader_announce);
+        }
+        net_.step();
+    }
+    if (event.rebuilt) {
+        // Half-loss rule: leader rebuilt the expander; install it.
+        install_topology(event.color);
+    }
+}
+
+void DistributedXheal::phase_dissolve(const HealEvent& event) {
+    if (event.members.empty()) return;
+    // The survivor is told the cloud is gone (by the departing leader's
+    // final message).
+    net_.post(event.members.front(), event.members.front(), sim::tag::leader_announce);
+    net_.step();
+}
+
+graph::NodeId DistributedXheal::run_tournament(const std::vector<NodeId>& candidates) {
+    XHEAL_EXPECTS(!candidates.empty());
+    std::vector<NodeId> active = candidates;
+    while (active.size() > 1) {
+        std::vector<NodeId> winners;
+        winners.reserve((active.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < active.size(); i += 2) {
+            // Loser reports to winner; one message per match.
+            net_.post(active[i + 1], active[i], sim::tag::elect);
+            winners.push_back(active[i]);
+        }
+        if (active.size() % 2 == 1) winners.push_back(active.back());
+        net_.step();
+        active = std::move(winners);
+    }
+    return active.front();
+}
+
+void DistributedXheal::install_topology(ColorId color) {
+    const Cloud* cloud = registry().find(color);
+    if (cloud == nullptr) return;
+    NodeId leader = cloud->leader;
+    for (const auto& [a, b] : cloud->claimed) {
+        net_.post(leader, a, sim::tag::inform_topology);
+        net_.post(leader, b, sim::tag::inform_topology);
+    }
+    // Vice-leader designation rides along in the same round.
+    if (cloud->vice_leader != graph::invalid_node) {
+        net_.post(leader, cloud->vice_leader, sim::tag::leader_announce);
+    }
+    net_.step();
+}
+
+void DistributedXheal::phase_create_cloud(const HealEvent& event) {
+    if (event.members.size() < 2) return;
+    if (event.kind == HealEvent::Kind::create_secondary) {
+        // Free-node discovery: each bridge was located by querying its
+        // cloud leader — one query + one reply per bridge.
+        for (NodeId b : event.members) {
+            net_.post(b, b, sim::tag::free_query);
+        }
+        net_.step();
+        for (NodeId b : event.members) {
+            net_.post(b, b, sim::tag::free_reply);
+        }
+        net_.step();
+    }
+    run_tournament(event.members);
+    install_topology(event.color);
+}
+
+void DistributedXheal::phase_insert_member(const HealEvent& event) {
+    const Cloud* cloud = registry().find(event.color);
+    if (cloud == nullptr || event.members.empty()) return;
+    NodeId w = event.members.front();
+    NodeId leader = cloud->leader == w && cloud->vice_leader != graph::invalid_node
+                        ? cloud->vice_leader
+                        : cloud->leader;
+    // H-graph INSERT: query the leader for random cycle positions, receive
+    // them, then splice in next to <= kappa cycle neighbors.
+    net_.post(w, leader, sim::tag::free_query);
+    net_.step();
+    net_.post(leader, w, sim::tag::free_reply);
+    net_.step();
+    auto members = cloud->members_sorted();
+    std::size_t splices = std::min(kappa(), members.size());
+    std::size_t sent = 0;
+    for (NodeId m : members) {
+        if (m == w) continue;
+        net_.post(w, m, sim::tag::splice);
+        if (++sent >= splices) break;
+    }
+    net_.step();
+}
+
+void DistributedXheal::phase_combine(const HealEvent& event) {
+    const Cloud* cloud = registry().find(event.color);
+    if (cloud == nullptr || cloud->size() < 2) return;
+
+    // Build the combined cloud's adjacency for the BFS flood.
+    std::unordered_map<NodeId, std::vector<NodeId>> adj;
+    for (const auto& [a, b] : cloud->claimed) {
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+    }
+
+    // Handler-driven BFS: first flood receipt forwards the wave and
+    // convergecasts the node's address toward the root (via its parent).
+    std::unordered_map<NodeId, NodeId> parent;
+    NodeId root = cloud->leader;
+    parent.emplace(root, root);
+    auto member_handler = [&adj, &parent](const sim::Message& m, sim::Context& ctx) {
+        if (m.type != sim::tag::flood) return;
+        if (parent.contains(ctx.self())) return;  // already visited
+        parent.emplace(ctx.self(), m.from);
+        auto it = adj.find(ctx.self());
+        if (it != adj.end()) {
+            for (NodeId nbr : it->second) {
+                if (nbr != m.from) ctx.send(nbr, sim::tag::flood);
+            }
+        }
+        ctx.send(m.from, sim::tag::converge);  // address convergecast
+    };
+    for (NodeId m : cloud->members_sorted()) {
+        if (net_.has_node(m)) net_.set_handler(m, member_handler);
+    }
+
+    auto root_it = adj.find(root);
+    if (root_it != adj.end()) {
+        for (NodeId nbr : root_it->second) net_.post(root, nbr, sim::tag::flood);
+    }
+    net_.run(4 * cloud->size() + 8);
+    XHEAL_ASSERT(net_.idle());
+
+    // Restore sink handlers before the leader's broadcast.
+    for (NodeId m : cloud->members_sorted()) {
+        if (net_.has_node(m)) net_.set_handler(m, {});
+    }
+    install_topology(event.color);
+}
+
+}  // namespace xheal::core

@@ -1,0 +1,74 @@
+// Distributed implementation of Xheal (paper Section 5).
+//
+// Repair decisions are computed by the embedded XhealHealer — in the paper,
+// too, a cloud's randomly elected leader *locally* constructs the H-graph
+// and informs members directly (NoN addressing) — while every communication
+// phase of the protocol is replayed through a synchronous LOCAL-model
+// network with real messages and rounds:
+//
+//   1. deletion notices to the deleted node's neighbors;
+//   2. per affected cloud, H-graph DELETE splice repairs (O(kappa) msgs,
+//      O(1) rounds), leader handover broadcasts when the leader died, and
+//      full topology re-installs after half-loss rebuilds;
+//   3. per new cloud, an O(log k)-round tournament leader election followed
+//      by the leader installing the topology (O(kappa * k) messages);
+//   4. per H-graph INSERT (sharing / bridge replacement), the O(1)
+//      leader-query protocol;
+//   5. per combine, a handler-driven BFS flood + convergecast over the
+//      combined cloud's expander edges (O(log n) rounds, O(kappa * total)
+//      messages) — the costly amortized operation.
+//
+// The network's message and round counters feed the Theorem 5 benches.
+#pragma once
+
+#include "core/xheal_healer.hpp"
+#include "sim/network.hpp"
+
+namespace xheal::core {
+
+class DistributedXheal : public Healer {
+public:
+    explicit DistributedXheal(XhealConfig config = {});
+
+    std::string_view name() const override { return "xheal-dist"; }
+    void on_insert(graph::Graph& g, graph::NodeId v) override;
+    RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
+    void check_consistency(const graph::Graph& g) const override;
+
+    const XhealHealer& inner() const { return inner_; }
+    const CloudRegistry& registry() const { return inner_.registry(); }
+    std::size_t kappa() const { return inner_.kappa(); }
+    const sim::Network& network() const { return net_; }
+
+    /// Rounds consumed by the most recent repair.
+    std::size_t last_rounds() const { return last_rounds_; }
+    /// Messages consumed by the most recent repair.
+    std::uint64_t last_messages() const { return last_messages_; }
+
+private:
+    void ensure_attached(const graph::Graph& g);
+
+    // Protocol phases; each posts real messages and steps the network.
+    void phase_deletion_notice(graph::NodeId v, const std::vector<graph::NodeId>& nbrs);
+    void phase_fix_cloud(const HealEvent& event);
+    void phase_create_cloud(const HealEvent& event);
+    void phase_insert_member(const HealEvent& event);
+    void phase_dissolve(const HealEvent& event);
+    void phase_combine(const HealEvent& event);
+
+    /// Tournament election over `candidates`: ceil(log2 k) rounds, k-1
+    /// messages. Returns the winner (lowest surviving index).
+    graph::NodeId run_tournament(const std::vector<graph::NodeId>& candidates);
+
+    /// Leader installs the cloud's current topology: two messages per edge
+    /// (one to each endpoint), one round — the paper's O(kappa*k) install.
+    void install_topology(graph::ColorId color);
+
+    XhealHealer inner_;
+    sim::Network net_;
+    bool attached_ = false;
+    std::size_t last_rounds_ = 0;
+    std::uint64_t last_messages_ = 0;
+};
+
+}  // namespace xheal::core

@@ -1,0 +1,64 @@
+// Self-healing algorithm interface (the "repair" step of the node insert,
+// delete and network repair model, Fig. 1 of the paper).
+//
+// A Healer is driven by a HealingSession: after the adversary inserts a node
+// (with its black edges already placed) the session calls on_insert; when
+// the adversary deletes node v the session calls on_delete with v still
+// present so the healer can observe the edges being destroyed — the healer
+// removes v itself and then adds/drops edges to repair.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "graph/graph.hpp"
+
+namespace xheal::core {
+
+/// Accounting for one repair, used by the benches.
+struct RepairReport {
+    std::size_t edges_added = 0;      ///< color claims added to the graph
+    std::size_t edges_removed = 0;    ///< color claims removed from the graph
+    std::size_t clouds_touched = 0;   ///< clouds repaired, created or destroyed
+    std::size_t combines = 0;         ///< costly combine operations triggered
+    std::size_t combine_members = 0;  ///< total membership of combined clouds
+    std::size_t rebuilds = 0;         ///< half-loss expander reconstructions
+    std::size_t messages = 0;         ///< distributed only: messages exchanged
+    std::size_t rounds = 0;           ///< distributed only: synchronous rounds
+
+    void accumulate(const RepairReport& other) {
+        edges_added += other.edges_added;
+        edges_removed += other.edges_removed;
+        clouds_touched += other.clouds_touched;
+        combines += other.combines;
+        combine_members += other.combine_members;
+        rebuilds += other.rebuilds;
+        messages += other.messages;
+        rounds += other.rounds;
+    }
+};
+
+class Healer {
+public:
+    virtual ~Healer() = default;
+
+    virtual std::string_view name() const = 0;
+
+    /// Node v was inserted by the adversary; its black edges are already in
+    /// g. Most healers (including Xheal) take no action on insertion.
+    virtual void on_insert(graph::Graph& g, graph::NodeId v) {
+        (void)g;
+        (void)v;
+    }
+
+    /// The adversary deletes v. Called with v still present in g; the
+    /// implementation must remove v (dropping all its edges) and may then
+    /// add or remove edges to repair. Returns repair accounting.
+    virtual RepairReport on_delete(graph::Graph& g, graph::NodeId v) = 0;
+
+    /// Optional deep self-check (registry/claims consistency). Throws on
+    /// violation. Default: no internal state to check.
+    virtual void check_consistency(const graph::Graph& g) const { (void)g; }
+};
+
+}  // namespace xheal::core

@@ -1,0 +1,56 @@
+#include "core/invariants.hpp"
+
+#include "graph/algorithms.hpp"
+#include "util/expects.hpp"
+
+namespace xheal::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+void check_graph_consistency(const Graph& g) {
+    std::size_t directed_edges = 0;
+    for (NodeId u : g.nodes_sorted()) {
+        for (const auto& [v, claims] : g.adjacency(u)) {
+            XHEAL_ASSERT(u != v);
+            XHEAL_ASSERT(g.has_node(v));
+            XHEAL_ASSERT(!claims.empty());
+            // The mirror entry must carry identical claims.
+            const auto& mirror = g.claims(v, u);
+            XHEAL_ASSERT(mirror.black == claims.black);
+            XHEAL_ASSERT(mirror.colors == claims.colors);
+            ++directed_edges;
+        }
+    }
+    XHEAL_ASSERT(directed_edges == 2 * g.edge_count());
+}
+
+void check_reference_edges_present(const Graph& g, const Graph& ref) {
+    ref.for_each_edge([&](NodeId u, NodeId v, const graph::EdgeClaims&) {
+        if (g.has_node(u) && g.has_node(v)) {
+            XHEAL_ASSERT(g.has_edge(u, v));
+            XHEAL_ASSERT(g.claims(u, v).black);
+        }
+    });
+}
+
+void check_connected(const Graph& g) { XHEAL_ASSERT(graph::is_connected(g)); }
+
+void check_degree_bound(const Graph& g, const Graph& ref, std::size_t kappa) {
+    for (NodeId v : g.nodes_sorted()) {
+        XHEAL_ASSERT(ref.has_node(v));
+        std::size_t ref_degree = ref.degree(v);
+        std::size_t bound = kappa * ref_degree + 2 * kappa;
+        XHEAL_ASSERT(g.degree(v) <= bound);
+    }
+}
+
+void check_session(const HealingSession& session, std::size_t kappa) {
+    check_graph_consistency(session.current());
+    check_reference_edges_present(session.current(), session.reference());
+    check_connected(session.current());
+    check_degree_bound(session.current(), session.reference(), kappa);
+    session.healer().check_consistency(session.current());
+}
+
+}  // namespace xheal::core

@@ -1,0 +1,28 @@
+// Invariant checks asserted by tests and failure-injection runs. Every
+// check throws util::ContractViolation with a description on failure.
+#pragma once
+
+#include "core/session.hpp"
+#include "graph/graph.hpp"
+
+namespace xheal::core {
+
+/// Adjacency mirror symmetry, claim mirror equality, edge-count agreement,
+/// no self-loops, every edge has at least one claim.
+void check_graph_consistency(const graph::Graph& g);
+
+/// Every G' edge whose endpoints are both alive in g is present in g
+/// (multi-claim design guarantee; DESIGN.md decision 1).
+void check_reference_edges_present(const graph::Graph& g, const graph::Graph& ref);
+
+/// The healed graph is connected.
+void check_connected(const graph::Graph& g);
+
+/// Lemma 3 bound: degree_G(v) <= kappa * degree_G'(v) + 2*kappa for every
+/// alive node with positive reference degree.
+void check_degree_bound(const graph::Graph& g, const graph::Graph& ref, std::size_t kappa);
+
+/// All of the above plus the healer's internal consistency check.
+void check_session(const HealingSession& session, std::size_t kappa);
+
+}  // namespace xheal::core

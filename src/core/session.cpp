@@ -1,0 +1,43 @@
+#include "core/session.hpp"
+
+#include "util/expects.hpp"
+
+namespace xheal::core {
+
+using graph::Graph;
+using graph::NodeId;
+
+HealingSession::HealingSession(Graph initial, std::unique_ptr<Healer> healer)
+    : g_(initial), ref_(std::move(initial)), healer_(std::move(healer)) {
+    XHEAL_EXPECTS(healer_ != nullptr);
+}
+
+NodeId HealingSession::insert_node(const std::vector<NodeId>& neighbors) {
+    for (NodeId u : neighbors) XHEAL_EXPECTS(g_.has_node(u));
+    NodeId v = g_.add_node();
+    ref_.add_node_with_id(v);
+    for (NodeId u : neighbors) {
+        g_.add_black_edge(v, u);
+        ref_.add_black_edge(v, u);
+    }
+    healer_->on_insert(g_, v);
+    ++insertions_;
+    return v;
+}
+
+RepairReport HealingSession::delete_node(NodeId v) {
+    XHEAL_EXPECTS(g_.has_node(v));
+    deleted_black_degree_.add(static_cast<double>(ref_.degree(v)));
+    RepairReport report = healer_->on_delete(g_, v);
+    XHEAL_ENSURES(!g_.has_node(v));
+    totals_.accumulate(report);
+    ++deletions_;
+    return report;
+}
+
+double HealingSession::amortized_messages() const {
+    if (deletions_ == 0) return 0.0;
+    return static_cast<double>(totals_.messages) / static_cast<double>(deletions_);
+}
+
+}  // namespace xheal::core

@@ -1,0 +1,65 @@
+// HealingSession drives the insert/delete/repair loop of the paper's model
+// (Fig. 1): it owns the healed graph G_t, maintains the insert-only
+// reference graph G'_t (original nodes + adversarial insertions, deletions
+// ignored), applies adversary events and invokes the healer, accumulating
+// repair accounting and the A(p) statistic of Lemma 5.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/healer.hpp"
+#include "graph/graph.hpp"
+#include "util/stats.hpp"
+
+namespace xheal::core {
+
+class HealingSession {
+public:
+    /// Takes ownership of the healer. `initial` becomes both G_0 and G'_0.
+    HealingSession(graph::Graph initial, std::unique_ptr<Healer> healer);
+
+    /// The healed graph G_t.
+    const graph::Graph& current() const { return g_; }
+    /// The insert-only reference graph G'_t (deleted nodes remain).
+    const graph::Graph& reference() const { return ref_; }
+
+    Healer& healer() { return *healer_; }
+    const Healer& healer() const { return *healer_; }
+
+    /// Adversary inserts a node attached (with black edges) to `neighbors`,
+    /// which must all be alive. Returns the new node's id (identical in G
+    /// and G').
+    graph::NodeId insert_node(const std::vector<graph::NodeId>& neighbors);
+
+    /// Adversary deletes alive node v; the healer repairs. Returns the
+    /// repair accounting.
+    RepairReport delete_node(graph::NodeId v);
+
+    std::size_t deletions() const { return deletions_; }
+    std::size_t insertions() const { return insertions_; }
+    const RepairReport& totals() const { return totals_; }
+
+    /// A(p) of Lemma 5: average black-degree (degree in G'_t at deletion
+    /// time) of the deleted nodes. The best-possible amortized message cost.
+    double average_deleted_black_degree() const { return deleted_black_degree_.mean(); }
+    const util::RunningStats& deleted_black_degree_stats() const {
+        return deleted_black_degree_;
+    }
+
+    /// Amortized messages per deletion (distributed healers; 0 otherwise).
+    double amortized_messages() const;
+
+    std::vector<graph::NodeId> alive_nodes() const { return g_.nodes_sorted(); }
+
+private:
+    graph::Graph g_;
+    graph::Graph ref_;
+    std::unique_ptr<Healer> healer_;
+    RepairReport totals_;
+    std::size_t deletions_ = 0;
+    std::size_t insertions_ = 0;
+    util::RunningStats deleted_black_degree_;
+};
+
+}  // namespace xheal::core

@@ -1,0 +1,467 @@
+#include "core/xheal_healer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/expects.hpp"
+
+namespace xheal::core {
+
+using graph::ColorId;
+using graph::Graph;
+using graph::NodeId;
+
+XhealHealer::XhealHealer(XhealConfig config)
+    : config_(config),
+      registry_(config.d, config.rebuild_on_half_loss),
+      rng_(config.seed) {}
+
+void XhealHealer::check_consistency(const Graph& g) const { registry_.verify(g); }
+
+RepairReport XhealHealer::on_delete(Graph& g, NodeId v) {
+    XHEAL_EXPECTS(g.has_node(v));
+    RepairReport report;
+    events_.clear();
+
+    // ---- snapshot v's situation before anything is torn down ----
+    std::vector<ColorId> prim = registry_.primary_clouds_of(v);
+    std::optional<ColorId> sec = registry_.secondary_cloud_of(v);
+    ColorId assoc_of_v = graph::invalid_color;
+    if (sec.has_value()) {
+        const Cloud* f = registry_.find(*sec);
+        auto it = f->bridge_assoc.find(v);
+        if (it != f->bridge_assoc.end()) assoc_of_v = it->second;
+    }
+    std::vector<NodeId> black_nbrs;
+    for (NodeId u : g.neighbors_sorted(v)) {
+        if (!g.claims(u, v).colored()) black_nbrs.push_back(u);
+    }
+
+    // ---- the adversary's deletion takes effect ----
+    g.remove_node(v);
+
+    // ---- Case 1: v belonged to no cloud (all deleted edges black) ----
+    if (prim.empty() && !sec.has_value()) {
+        if (black_nbrs.size() >= 2) {
+            ColorId c = registry_.create_cloud(g, CloudKind::primary, black_nbrs, rng_,
+                                               &report.edges_added);
+            ++report.clouds_touched;
+            events_.push_back(HealEvent{HealEvent::Kind::create_primary, c, black_nbrs,
+                                        black_nbrs.size(), false, false});
+        }
+        return report;
+    }
+
+    // ---- FixPrimary: every affected primary cloud repairs its expander ----
+    std::vector<NodeId> survivors;  // lone remnants of dissolved 2-clouds
+    for (ColorId c : prim) {
+        NodeId survivor = remove_member_logged(g, c, v, report);
+        if (survivor != graph::invalid_node) survivors.push_back(survivor);
+    }
+
+    // ---- Remove v from its secondary cloud (if any) ----
+    NodeId f_survivor = graph::invalid_node;
+    bool f_alive = false;
+    if (sec.has_value()) {
+        f_survivor = remove_member_logged(g, *sec, v, report);
+        f_alive = registry_.exists(*sec);
+    }
+
+    // ---- Case 2.2: repair the secondary cloud's bridge structure ----
+    SecondaryFix fix;
+    if (sec.has_value() && f_alive) {
+        fix = fix_secondary(g, *sec, assoc_of_v, report);
+    }
+
+    // ---- assemble the units the new secondary must connect ----
+    std::vector<Unit> units;
+    for (ColorId c : prim) {
+        if (!registry_.exists(c)) continue;        // dissolved or combined away
+        if (fix.connected.contains(c)) continue;   // still connected through F
+        units.push_back(Unit::of_cloud(c));
+    }
+    for (NodeId s : survivors) {
+        if (g.has_node(s)) units.push_back(Unit::of_node(s));
+    }
+    for (NodeId b : black_nbrs) units.push_back(Unit::of_node(b));
+    if (f_survivor != graph::invalid_node && g.has_node(f_survivor)) {
+        // F dissolved when v left: its last bridge is now free and its side
+        // must be reconnected like any other unit.
+        units.push_back(Unit::of_node(f_survivor));
+    }
+
+    units = dedupe_units(std::move(units));
+    if (units.empty()) return report;
+
+    if (fix.representative.has_value()) {
+        units.push_back(*fix.representative);
+        units = dedupe_units(std::move(units));
+        connect_units(g, std::move(units), graph::invalid_color, report);
+    } else if (fix.insert_into != graph::invalid_color &&
+               registry_.exists(fix.insert_into)) {
+        connect_units(g, std::move(units), fix.insert_into, report);
+    } else {
+        connect_units(g, std::move(units), graph::invalid_color, report);
+    }
+    return report;
+}
+
+XhealHealer::SecondaryFix XhealHealer::fix_secondary(Graph& g, ColorId f_color,
+                                                     ColorId assoc_of_v,
+                                                     RepairReport& report) {
+    SecondaryFix fix;
+    Cloud* f = registry_.find(f_color);
+    XHEAL_ASSERT(f != nullptr);
+
+    // Live primary clouds currently bridged by F.
+    auto live_assocs = [&]() {
+        std::vector<ColorId> out;
+        for (const auto& [bridge, assoc] : f->bridge_assoc) {
+            (void)bridge;
+            if (assoc != graph::invalid_color && registry_.exists(assoc)) out.push_back(assoc);
+        }
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        return out;
+    };
+
+    if (assoc_of_v != graph::invalid_color && registry_.exists(assoc_of_v)) {
+        // v bridged for primary cloud Ci: find a replacement free node z.
+        std::vector<ColorId> donors = live_assocs();
+        donors.erase(std::remove(donors.begin(), donors.end(), assoc_of_v), donors.end());
+        NodeId z = pick_free_node(g, assoc_of_v, donors, report);
+        if (z != graph::invalid_node) {
+            insert_member_logged(g, f_color, z, report);
+            registry_.find(f_color)->bridge_assoc[z] = assoc_of_v;
+        } else {
+            // No free node anywhere among F's primary clouds: combine them
+            // all into one primary cloud; F's edges are deleted and its
+            // bridges become free again (paper Case 2.2 / Case 2.1 rule).
+            std::vector<Unit> to_combine;
+            for (ColorId c : live_assocs()) to_combine.push_back(Unit::of_cloud(c));
+            for (const auto& [bridge, assoc] : f->bridge_assoc) {
+                if (assoc == graph::invalid_color || !registry_.exists(assoc)) {
+                    to_combine.push_back(Unit::of_node(bridge));
+                }
+            }
+            registry_.destroy_cloud(g, f_color, &report.edges_removed);
+            ++report.clouds_touched;
+            ColorId combined = combine_units(g, dedupe_units(std::move(to_combine)), report);
+            fix.representative = Unit::of_cloud(combined);
+            return fix;  // F is gone; `connected` stays empty
+        }
+    }
+    // F survives (possibly just shrunk if v had no live association).
+    Cloud* f_now = registry_.find(f_color);
+    XHEAL_ASSERT(f_now != nullptr);
+    for (ColorId c : live_assocs()) fix.connected.insert(c);
+
+    // Choose a representative unit on F's side for reconnecting leftover
+    // clouds: prefer v's own primary, else any live primary of F.
+    ColorId rep = graph::invalid_color;
+    if (assoc_of_v != graph::invalid_color && registry_.exists(assoc_of_v)) {
+        rep = assoc_of_v;
+    } else {
+        auto assocs = live_assocs();
+        if (!assocs.empty()) rep = assocs.front();
+    }
+    if (rep != graph::invalid_color) {
+        fix.representative = Unit::of_cloud(rep);
+    } else {
+        fix.insert_into = f_color;  // fall back to growing F directly
+    }
+    return fix;
+}
+
+NodeId XhealHealer::pick_free_node(Graph& g, ColorId ci,
+                                   const std::vector<ColorId>& donor_clouds,
+                                   RepairReport& report) {
+    auto own = registry_.free_members_of(ci);
+    if (!own.empty()) return rng_.pick(own);
+    // Sharing: borrow a free node from a donor cloud and physically add it
+    // to ci so it can serve as ci's bridge (paper Section 3).
+    for (ColorId donor : donor_clouds) {
+        if (!registry_.exists(donor)) continue;
+        auto candidates = registry_.free_members_of(donor);
+        // The borrowed node must not already sit inside ci.
+        std::erase_if(candidates, [&](NodeId w) {
+            return registry_.find(ci)->has_member(w);
+        });
+        if (candidates.empty()) continue;
+        NodeId w = rng_.pick(candidates);
+        insert_member_logged(g, ci, w, report);
+        return w;
+    }
+    return graph::invalid_node;
+}
+
+std::vector<XhealHealer::Unit> XhealHealer::dedupe_units(std::vector<Unit> units) const {
+    std::vector<Unit> out;
+    std::unordered_set<ColorId> cloud_seen;
+    std::unordered_set<NodeId> node_seen;
+    // First pass: cloud units.
+    for (const Unit& u : units) {
+        if (!u.is_cloud()) continue;
+        if (!registry_.exists(u.cloud)) continue;
+        if (!cloud_seen.insert(u.cloud).second) continue;
+        out.push_back(u);
+    }
+    // Second pass: singletons not already covered by a listed cloud.
+    for (const Unit& u : units) {
+        if (u.is_cloud()) continue;
+        if (!node_seen.insert(u.singleton).second) continue;
+        bool covered = false;
+        for (ColorId c : cloud_seen) {
+            const Cloud* cloud = registry_.find(c);
+            if (cloud != nullptr && cloud->has_member(u.singleton)) {
+                covered = true;
+                break;
+            }
+        }
+        if (!covered) out.push_back(u);
+    }
+    return out;
+}
+
+void XhealHealer::connect_units(Graph& g, std::vector<Unit> units,
+                                ColorId into_secondary, RepairReport& report) {
+    if (units.empty()) return;
+    if (units.size() == 1 && into_secondary == graph::invalid_color) return;
+
+    // Candidate free nodes per unit.
+    std::vector<std::vector<NodeId>> candidates(units.size());
+    std::set<NodeId> all_free;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        if (units[i].is_cloud()) {
+            candidates[i] = registry_.free_members_of(units[i].cloud);
+        } else if (registry_.is_free(units[i].singleton)) {
+            candidates[i] = {units[i].singleton};
+        }
+        for (NodeId w : candidates[i]) all_free.insert(w);
+    }
+
+    // The paper's combine rule: fewer distinct free nodes than units means
+    // a secondary cloud cannot be built — merge everything into one
+    // primary cloud instead.
+    if (all_free.size() < units.size()) {
+        ColorId combined = combine_units(g, units, report);
+        if (combined != graph::invalid_color && into_secondary != graph::invalid_color &&
+            registry_.exists(into_secondary)) {
+            // We were asked to hang the units off an existing secondary;
+            // attach the combined cloud if it still has a free node.
+            // (Connectivity fallback; see DESIGN.md decision 3.)
+            auto free_nodes = registry_.free_members_of(combined);
+            if (!free_nodes.empty()) {
+                NodeId w = rng_.pick(free_nodes);
+                insert_member_logged(g, into_secondary, w, report);
+                registry_.find(into_secondary)->bridge_assoc[w] = combined;
+            }
+        }
+        return;
+    }
+
+    // Assign one distinct free node per unit: greedy by scarcity, sharing
+    // spares into deficient units. Count guarantees success.
+    std::vector<std::size_t> order(units.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (candidates[a].size() != candidates[b].size())
+            return candidates[a].size() < candidates[b].size();
+        return a < b;
+    });
+
+    std::set<NodeId> taken;
+    std::vector<NodeId> assigned(units.size(), graph::invalid_node);
+    std::vector<std::size_t> deficient;
+    for (std::size_t i : order) {
+        std::vector<NodeId> open;
+        for (NodeId w : candidates[i]) {
+            if (!taken.contains(w)) open.push_back(w);
+        }
+        if (open.empty()) {
+            deficient.push_back(i);
+            continue;
+        }
+        NodeId w = rng_.pick(open);
+        assigned[i] = w;
+        taken.insert(w);
+    }
+    for (std::size_t i : deficient) {
+        std::vector<NodeId> spares;
+        for (NodeId w : all_free) {
+            if (!taken.contains(w)) spares.push_back(w);
+        }
+        XHEAL_ASSERT(!spares.empty());  // |all_free| >= units guarantees this
+        NodeId w = rng_.pick(spares);
+        assigned[i] = w;
+        taken.insert(w);
+    }
+
+    // Materialize bridges: shared nodes physically join the deficient unit.
+    struct Bridge {
+        NodeId node;
+        ColorId assoc;
+    };
+    std::vector<Bridge> bridges;
+    bridges.reserve(units.size());
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        NodeId w = assigned[i];
+        XHEAL_ASSERT(w != graph::invalid_node);
+        if (units[i].is_cloud()) {
+            Cloud* cloud = registry_.find(units[i].cloud);
+            XHEAL_ASSERT(cloud != nullptr);
+            if (!cloud->has_member(w)) {
+                insert_member_logged(g, units[i].cloud, w, report);
+            }
+            bridges.push_back({w, units[i].cloud});
+        } else if (w == units[i].singleton) {
+            bridges.push_back({w, graph::invalid_color});
+        } else {
+            // Share into a singleton: wrap it in a fresh 2-node primary
+            // cloud with the borrowed free node as its bridge.
+            std::vector<NodeId> pair_members{units[i].singleton, w};
+            ColorId p = registry_.create_cloud(g, CloudKind::primary, pair_members, rng_,
+                                               &report.edges_added);
+            ++report.clouds_touched;
+            events_.push_back(HealEvent{HealEvent::Kind::create_primary, p, pair_members,
+                                        pair_members.size(), false, false});
+            bridges.push_back({w, p});
+        }
+    }
+
+    if (into_secondary != graph::invalid_color && registry_.exists(into_secondary)) {
+        for (const Bridge& b : bridges) {
+            insert_member_logged(g, into_secondary, b.node, report);
+            registry_.find(into_secondary)->bridge_assoc[b.node] = b.assoc;
+        }
+        return;
+    }
+
+    if (bridges.size() < 2) return;  // single unit: nothing to connect
+    std::vector<NodeId> bridge_nodes;
+    bridge_nodes.reserve(bridges.size());
+    for (const Bridge& b : bridges) bridge_nodes.push_back(b.node);
+    ColorId f = registry_.create_cloud(g, CloudKind::secondary, bridge_nodes, rng_,
+                                       &report.edges_added);
+    Cloud* cloud = registry_.find(f);
+    for (const Bridge& b : bridges) cloud->bridge_assoc[b.node] = b.assoc;
+    ++report.clouds_touched;
+    events_.push_back(HealEvent{HealEvent::Kind::create_secondary, f, bridge_nodes,
+                                bridge_nodes.size(), false, false});
+}
+
+ColorId XhealHealer::combine_units(Graph& g, const std::vector<Unit>& units,
+                                   RepairReport& report) {
+    std::set<NodeId> members;
+    std::set<ColorId> destroyed;
+    for (const Unit& u : units) {
+        if (u.is_cloud()) {
+            const Cloud* cloud = registry_.find(u.cloud);
+            if (cloud == nullptr) continue;
+            for (NodeId m : cloud->members_sorted()) members.insert(m);
+        } else {
+            members.insert(u.singleton);
+        }
+    }
+    for (const Unit& u : units) {
+        if (u.is_cloud() && registry_.exists(u.cloud)) {
+            destroyed.insert(u.cloud);
+            registry_.destroy_cloud(g, u.cloud, &report.edges_removed);
+            ++report.clouds_touched;
+        }
+    }
+    std::vector<NodeId> member_list(members.begin(), members.end());
+    if (member_list.size() < 2) {
+        // A lone non-free singleton: nothing to merge. It is already held
+        // by its own secondary cloud; no new cloud is needed.
+        return graph::invalid_color;
+    }
+    ColorId combined = registry_.create_cloud(g, CloudKind::primary, member_list, rng_,
+                                              &report.edges_added);
+    ++report.clouds_touched;
+    ++report.combines;
+    report.combine_members += member_list.size();
+    events_.push_back(HealEvent{HealEvent::Kind::combine, combined, member_list,
+                                member_list.size(), false, false});
+
+    // The paper's free-node replenishment: non-free nodes of the combined
+    // clouds "become free again". A combined member bridging a *foreign*
+    // secondary whose associated cloud just died now represents the merged
+    // cloud D — one such bridge per foreign secondary suffices, the rest
+    // are released (freed). Bridges for clouds that survive elsewhere keep
+    // their roles. Without this, targeted bridge deletions starve the
+    // system of free nodes and combines cascade (the Section 5(c)
+    // amortization depends on it).
+    std::set<ColorId> foreign;
+    for (NodeId m : member_list) {
+        auto sec = registry_.secondary_cloud_of(m);
+        if (sec.has_value()) foreign.insert(*sec);
+    }
+    for (ColorId f_color : foreign) {
+        Cloud* f = registry_.find(f_color);
+        if (f == nullptr) continue;
+        std::vector<NodeId> stale;
+        for (NodeId m : member_list) {
+            if (!f->has_member(m)) continue;
+            auto it = f->bridge_assoc.find(m);
+            ColorId assoc = it == f->bridge_assoc.end() ? graph::invalid_color : it->second;
+            bool assoc_alive = assoc != graph::invalid_color && registry_.exists(assoc) &&
+                               !destroyed.contains(assoc);
+            if (!assoc_alive) stale.push_back(m);
+        }
+        if (stale.empty()) continue;
+        // Keep the first stale bridge as D's representative in f.
+        f->bridge_assoc[stale.front()] = combined;
+        for (std::size_t i = 1; i < stale.size(); ++i) {
+            if (f->size() <= 2) break;  // keep f alive; its members stay bridges
+            registry_.remove_member(g, f_color, stale[i], rng_,
+                                    /*deleted_from_graph=*/false, &report.edges_added,
+                                    &report.edges_removed);
+            ++report.clouds_touched;
+        }
+    }
+    return combined;
+}
+
+NodeId XhealHealer::remove_member_logged(Graph& g, ColorId c, NodeId v,
+                                         RepairReport& report) {
+    Cloud* cloud = registry_.find(c);
+    XHEAL_ASSERT(cloud != nullptr);
+    bool leader_deleted = cloud->leader == v;
+    std::size_t rebuilds_before = cloud->rebuild_count;
+    NodeId survivor = registry_.remove_member(g, c, v, rng_, /*deleted_from_graph=*/true,
+                                              &report.edges_added, &report.edges_removed);
+    ++report.clouds_touched;
+    if (!registry_.exists(c)) {
+        HealEvent ev;
+        ev.kind = HealEvent::Kind::dissolve_cloud;
+        ev.color = c;
+        if (survivor != graph::invalid_node) ev.members = {survivor};
+        events_.push_back(std::move(ev));
+        return survivor;
+    }
+    Cloud* after = registry_.find(c);
+    HealEvent ev;
+    ev.kind = HealEvent::Kind::fix_cloud;
+    ev.color = c;
+    ev.cloud_size = after->size();
+    ev.leader_was_deleted = leader_deleted;
+    ev.rebuilt = after->rebuild_count > rebuilds_before;
+    if (ev.rebuilt) ++report.rebuilds;
+    events_.push_back(std::move(ev));
+    return survivor;
+}
+
+void XhealHealer::insert_member_logged(Graph& g, ColorId c, NodeId w,
+                                       RepairReport& report) {
+    registry_.insert_member(g, c, w, rng_, &report.edges_added, &report.edges_removed);
+    ++report.clouds_touched;
+    HealEvent ev;
+    ev.kind = HealEvent::Kind::insert_member;
+    ev.color = c;
+    ev.members = {w};
+    ev.cloud_size = registry_.find(c)->size();
+    events_.push_back(std::move(ev));
+}
+
+}  // namespace xheal::core

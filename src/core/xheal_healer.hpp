@@ -1,0 +1,146 @@
+// The Xheal self-healing algorithm (paper Section 3), centralized reference
+// implementation. DistributedXheal reuses this class for repair decisions
+// and adds faithful LOCAL-model round/message accounting.
+//
+// Case structure on deletion of node v:
+//   Case 1   — v belonged to no cloud (all its edges black): build one
+//              primary expander cloud over its neighbors.
+//   Case 2.1 — v belonged to primary clouds only: fix each primary cloud
+//              (incremental expander repair), then connect one free node per
+//              affected cloud — plus each black neighbor as a singleton
+//              unit — with a new secondary expander cloud. Free-node
+//              shortages are resolved by *sharing* (physically adding a
+//              spare free node to the deficient cloud); if the affected
+//              units hold fewer distinct free nodes than units, all units
+//              are *combined* into one primary cloud (the amortized-costly
+//              operation).
+//   Case 2.2 — v was a bridge in secondary cloud F: fix the primaries, then
+//              replace v's bridge role in F with a fresh free node from its
+//              associated primary (sharing/combining as above), and connect
+//              the primaries F does not cover as in Case 2.1, including one
+//              representative unit from F's side so the two groups stay
+//              connected (DESIGN.md decision 3).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/cloud_registry.hpp"
+#include "core/healer.hpp"
+#include "util/rng.hpp"
+
+namespace xheal::core {
+
+struct XhealConfig {
+    /// Hamilton cycles per expander cloud; kappa = 2d. The paper's
+    /// implementation-dependent degree parameter.
+    std::size_t d = 4;
+    /// Seed of the healer's private randomness (hidden from the adversary).
+    std::uint64_t seed = 42;
+    /// Section-5 rule: reconstruct a cloud after it has lost half of its
+    /// members, restoring the w.h.p. expansion guarantee. Disable only for
+    /// the bench_ablation study.
+    bool rebuild_on_half_loss = true;
+};
+
+/// One structural operation performed during a repair. DistributedXheal
+/// replays these as LOCAL-model protocol phases with faithful round and
+/// message accounting (paper Section 5).
+struct HealEvent {
+    enum class Kind {
+        fix_cloud,         ///< incremental expander repair after member loss
+        dissolve_cloud,    ///< cloud fell below 2 members
+        create_primary,    ///< new primary expander built by a leader
+        create_secondary,  ///< new secondary expander among bridge nodes
+        insert_member,     ///< H-graph INSERT (sharing / bridge replacement)
+        combine,           ///< costly merge of several clouds into one
+    };
+    Kind kind;
+    graph::ColorId color = graph::invalid_color;
+    std::vector<graph::NodeId> members;  ///< creation/combine: full member list
+    std::size_t cloud_size = 0;          ///< size after the operation
+    bool leader_was_deleted = false;     ///< fix_cloud: leader handover needed
+    bool rebuilt = false;                ///< fix_cloud: half-loss reconstruction
+};
+
+class XhealHealer : public Healer {
+public:
+    explicit XhealHealer(XhealConfig config = {});
+
+    std::string_view name() const override { return "xheal"; }
+    RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
+    void check_consistency(const graph::Graph& g) const override;
+
+    const CloudRegistry& registry() const { return registry_; }
+    std::size_t kappa() const { return registry_.kappa(); }
+    const XhealConfig& config() const { return config_; }
+
+    /// Structural operations of the most recent on_delete call, in order.
+    const std::vector<HealEvent>& last_events() const { return events_; }
+
+private:
+    /// One "side" that a secondary cloud must connect: either an existing
+    /// primary cloud or a lone node (black neighbor / dissolved-cloud
+    /// survivor, treated as a singleton primary cloud per the paper).
+    struct Unit {
+        graph::ColorId cloud = graph::invalid_color;
+        graph::NodeId singleton = graph::invalid_node;
+
+        bool is_cloud() const { return cloud != graph::invalid_color; }
+        static Unit of_cloud(graph::ColorId c) { return Unit{c, graph::invalid_node}; }
+        static Unit of_node(graph::NodeId n) { return Unit{graph::invalid_color, n}; }
+    };
+
+    /// Outcome of repairing secondary cloud F after bridge v was removed.
+    struct SecondaryFix {
+        /// Primary colors still connected through F (excluded from the new
+        /// secondary built for the leftover clouds).
+        std::set<graph::ColorId> connected;
+        /// A unit on F's side to include in the new secondary so both
+        /// groups stay connected; nullopt if F's side offers no free node.
+        std::optional<Unit> representative;
+        /// If no representative exists but F is alive, new bridges are
+        /// INSERTed into F itself instead of forming a new secondary.
+        graph::ColorId insert_into = graph::invalid_color;
+    };
+
+    SecondaryFix fix_secondary(graph::Graph& g, graph::ColorId f_color,
+                               graph::ColorId assoc_of_v, RepairReport& report);
+
+    /// Pick a free node to serve as cloud Ci's bridge: a free member of Ci,
+    /// else a free node shared from one of `donor_clouds` (physically added
+    /// to Ci), else invalid_node (combine required).
+    graph::NodeId pick_free_node(graph::Graph& g, graph::ColorId ci,
+                                 const std::vector<graph::ColorId>& donor_clouds,
+                                 RepairReport& report);
+
+    /// Connect `units` with a secondary cloud (or into an existing one),
+    /// applying free-node assignment, sharing and the combine fallback.
+    void connect_units(graph::Graph& g, std::vector<Unit> units,
+                       graph::ColorId into_secondary, RepairReport& report);
+
+    /// Merge all units into a single fresh primary cloud. Returns its color.
+    graph::ColorId combine_units(graph::Graph& g, const std::vector<Unit>& units,
+                                 RepairReport& report);
+
+    /// Drop duplicate units, dead clouds, and singletons already covered by
+    /// a cloud unit in the list.
+    std::vector<Unit> dedupe_units(std::vector<Unit> units) const;
+
+    /// Remove v from cloud `c` recording fix/dissolve events and rebuild
+    /// accounting; returns the dissolved cloud's survivor (or invalid_node).
+    graph::NodeId remove_member_logged(graph::Graph& g, graph::ColorId c,
+                                       graph::NodeId v, RepairReport& report);
+
+    /// insert_member wrapper that records the event.
+    void insert_member_logged(graph::Graph& g, graph::ColorId c, graph::NodeId w,
+                              RepairReport& report);
+
+    XhealConfig config_;
+    CloudRegistry registry_;
+    util::Rng rng_;
+    std::vector<HealEvent> events_;
+};
+
+}  // namespace xheal::core

@@ -1,0 +1,73 @@
+#include "expander/cloud_topology.hpp"
+
+#include <algorithm>
+
+#include "util/expects.hpp"
+
+namespace xheal::expander {
+
+using graph::NodeId;
+
+CloudTopology::CloudTopology(std::vector<NodeId> members, std::size_t d, util::Rng& rng)
+    : d_(d), members_(members.begin(), members.end()) {
+    XHEAL_EXPECTS(d >= 1);
+    XHEAL_EXPECTS(!members.empty());
+    XHEAL_EXPECTS(members_.size() == members.size());
+    construct(rng);
+}
+
+std::vector<NodeId> CloudTopology::members_sorted() const {
+    return {members_.begin(), members_.end()};
+}
+
+void CloudTopology::construct(util::Rng& rng) {
+    size_at_construction_ = members_.size();
+    if (members_.size() <= kappa() + 1 || members_.size() < 3) {
+        hgraph_.reset();  // clique mode
+    } else {
+        hgraph_.emplace(members_sorted(), d_, rng);
+    }
+}
+
+void CloudTopology::insert(NodeId u, util::Rng& rng) {
+    XHEAL_EXPECTS(!contains(u));
+    members_.insert(u);
+    if (hgraph_.has_value()) {
+        hgraph_->insert(u, rng);
+    } else if (members_.size() > kappa() + 1) {
+        construct(rng);  // clique grew past the threshold: become an H-graph
+    }
+    // Growth never triggers the half-loss rule; leave the baseline size so
+    // interleaved deletions still count against the original construction.
+}
+
+void CloudTopology::remove(NodeId u, util::Rng& rng) {
+    XHEAL_EXPECTS(contains(u));
+    XHEAL_EXPECTS(members_.size() >= 2);
+    members_.erase(u);
+    if (!hgraph_.has_value()) return;  // clique: nothing structural to fix
+    if (members_.size() <= kappa() + 1 || members_.size() < 3) {
+        construct(rng);  // shrink back to clique mode
+        return;
+    }
+    hgraph_->remove(u);
+}
+
+bool CloudTopology::needs_rebuild() const {
+    return members_.size() * 2 < size_at_construction_;
+}
+
+void CloudTopology::rebuild(util::Rng& rng) { construct(rng); }
+
+std::vector<std::pair<NodeId, NodeId>> CloudTopology::edges() const {
+    if (hgraph_.has_value()) return hgraph_->edges();
+    std::vector<std::pair<NodeId, NodeId>> out;
+    auto members = members_sorted();
+    out.reserve(members.size() * (members.size() - 1) / 2);
+    for (std::size_t i = 0; i < members.size(); ++i)
+        for (std::size_t j = i + 1; j < members.size(); ++j)
+            out.emplace_back(members[i], members[j]);
+    return out;
+}
+
+}  // namespace xheal::expander

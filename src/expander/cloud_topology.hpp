@@ -1,0 +1,65 @@
+// Topology backing one expander cloud.
+//
+// Per the paper (Algorithm 3.2), a cloud with at most kappa+1 members is a
+// clique; larger clouds are kappa-regular expanders, realized here as the
+// Law-Siu random H-graph with kappa = 2d. The topology switches
+// representation automatically as membership crosses the threshold, and
+// tracks how much it has shrunk since the last full (re)construction so the
+// owner can apply the paper's rebuild-after-half-loss rule (Section 5),
+// which restores the w.h.p. expansion guarantee after many deletions.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "expander/hgraph.hpp"
+
+namespace xheal::expander {
+
+class CloudTopology {
+public:
+    enum class Mode { clique, hgraph };
+
+    /// Build over `members` (distinct, non-empty) with Hamilton-cycle count
+    /// d >= 1 (kappa = 2d).
+    CloudTopology(std::vector<graph::NodeId> members, std::size_t d, util::Rng& rng);
+
+    Mode mode() const { return hgraph_.has_value() ? Mode::hgraph : Mode::clique; }
+    std::size_t size() const { return members_.size(); }
+    std::size_t kappa() const { return 2 * d_; }
+    bool contains(graph::NodeId u) const { return members_.contains(u); }
+    std::vector<graph::NodeId> members_sorted() const;
+
+    /// Add a member. Incremental H-graph INSERT when in expander mode; a
+    /// clique crossing the kappa+1 threshold is rebuilt as a fresh H-graph.
+    void insert(graph::NodeId u, util::Rng& rng);
+
+    /// Remove a member. Incremental H-graph DELETE; drops back to clique
+    /// mode at the threshold. Requires contains(u) and size() >= 2.
+    void remove(graph::NodeId u, util::Rng& rng);
+
+    /// True once the membership has fallen below half of its size at the
+    /// last full construction (the paper's amortized rebuild trigger).
+    bool needs_rebuild() const;
+
+    /// Fresh random construction over the current members; resets the
+    /// rebuild trigger.
+    void rebuild(util::Rng& rng);
+
+    /// Simple-graph projection of the cloud's internal edges (sorted pairs,
+    /// u < v). This is the set of color claims the cloud holds.
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> edges() const;
+
+private:
+    void construct(util::Rng& rng);
+
+    std::size_t d_;
+    std::set<graph::NodeId> members_;
+    std::optional<HGraph> hgraph_;  // engaged iff mode() == hgraph
+    std::size_t size_at_construction_ = 0;
+};
+
+}  // namespace xheal::expander

@@ -1,0 +1,118 @@
+#include "expander/hgraph.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/expects.hpp"
+
+namespace xheal::expander {
+
+using graph::NodeId;
+
+HGraph::HGraph(std::vector<NodeId> members, std::size_t d, util::Rng& rng) {
+    XHEAL_EXPECTS(d >= 1);
+    XHEAL_EXPECTS(!members.empty());
+    std::sort(members.begin(), members.end());
+    XHEAL_EXPECTS(std::adjacent_find(members.begin(), members.end()) == members.end());
+
+    cycles_.resize(d);
+    for (auto& cycle : cycles_) {
+        std::vector<NodeId> perm = members;
+        rng.shuffle(perm);
+        for (std::size_t i = 0; i < perm.size(); ++i) {
+            NodeId u = perm[i];
+            NodeId v = perm[(i + 1) % perm.size()];
+            cycle.succ[u] = v;
+            cycle.pred[v] = u;
+        }
+    }
+}
+
+bool HGraph::contains(NodeId u) const {
+    return !cycles_.empty() && cycles_.front().succ.contains(u);
+}
+
+std::vector<NodeId> HGraph::members_sorted() const {
+    std::vector<NodeId> out;
+    if (cycles_.empty()) return out;
+    out.reserve(cycles_.front().succ.size());
+    for (const auto& [u, _] : cycles_.front().succ) out.push_back(u);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void HGraph::insert(NodeId u, util::Rng& rng) {
+    XHEAL_EXPECTS(!contains(u));
+    XHEAL_EXPECTS(size() >= 1);
+    // Sorted member snapshot gives a deterministic random draw independent
+    // of hash iteration order.
+    auto members = members_sorted();
+    for (auto& cycle : cycles_) {
+        NodeId v = members[rng.index(members.size())];
+        NodeId w = cycle.succ.at(v);
+        cycle.succ[v] = u;
+        cycle.succ[u] = w;
+        cycle.pred[w] = u;
+        cycle.pred[u] = v;
+    }
+}
+
+void HGraph::remove(NodeId u) {
+    XHEAL_EXPECTS(contains(u));
+    XHEAL_EXPECTS(size() >= 2);
+    for (auto& cycle : cycles_) {
+        NodeId p = cycle.pred.at(u);
+        NodeId s = cycle.succ.at(u);
+        cycle.succ.erase(u);
+        cycle.pred.erase(u);
+        cycle.succ[p] = s;
+        cycle.pred[s] = p;
+    }
+}
+
+NodeId HGraph::successor(NodeId u, std::size_t cycle) const {
+    XHEAL_EXPECTS(cycle < cycles_.size());
+    XHEAL_EXPECTS(contains(u));
+    return cycles_[cycle].succ.at(u);
+}
+
+NodeId HGraph::predecessor(NodeId u, std::size_t cycle) const {
+    XHEAL_EXPECTS(cycle < cycles_.size());
+    XHEAL_EXPECTS(contains(u));
+    return cycles_[cycle].pred.at(u);
+}
+
+std::vector<std::pair<NodeId, NodeId>> HGraph::edges() const {
+    std::set<std::pair<NodeId, NodeId>> pairs;
+    for (const auto& cycle : cycles_) {
+        for (const auto& [u, v] : cycle.succ) {
+            if (u == v) continue;  // degenerate 1-node cycle
+            pairs.emplace(std::min(u, v), std::max(u, v));
+        }
+    }
+    return {pairs.begin(), pairs.end()};
+}
+
+void HGraph::validate() const {
+    auto members = members_sorted();
+    for (const auto& cycle : cycles_) {
+        XHEAL_ASSERT(cycle.succ.size() == members.size());
+        XHEAL_ASSERT(cycle.pred.size() == members.size());
+        for (const auto& [u, v] : cycle.succ) {
+            XHEAL_ASSERT(cycle.pred.at(v) == u);
+        }
+        // The successor map must form a single cycle covering all members.
+        if (members.empty()) continue;
+        NodeId start = members.front();
+        NodeId cur = start;
+        std::size_t steps = 0;
+        do {
+            cur = cycle.succ.at(cur);
+            ++steps;
+            XHEAL_ASSERT(steps <= members.size());
+        } while (cur != start);
+        XHEAL_ASSERT(steps == members.size());
+    }
+}
+
+}  // namespace xheal::expander

@@ -1,0 +1,67 @@
+// Law-Siu H-graphs (INFOCOM 2003): 2d-regular multigraphs formed by the
+// union of d independent uniformly random Hamilton cycles. Xheal uses them
+// as its distributed expander construction (paper Section 5, Theorems 3-4):
+//
+//   INSERT(u): splice u into each cycle at an independently random position;
+//   DELETE(u): splice u out of each cycle, joining its predecessor and
+//              successor.
+//
+// Both operations preserve the uniform H-graph distribution (Theorem 3), and
+// a uniform H-graph is an expander with edge expansion Omega(d) w.h.p.
+// (Theorem 4). The class keeps the d cycles explicitly; the simple-graph
+// projection (distinct pairs, no self-loops) is what gets claimed in the
+// network graph.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/rng.hpp"
+
+namespace xheal::expander {
+
+class HGraph {
+public:
+    /// Uniform random H-graph with `d` Hamilton cycles over `members`.
+    /// Requires d >= 1 and members distinct. Sizes 1 and 2 are permitted
+    /// (degenerate cycles) so callers can shrink without special cases.
+    HGraph(std::vector<graph::NodeId> members, std::size_t d, util::Rng& rng);
+
+    std::size_t size() const { return cycles_.empty() ? 0 : cycles_.front().succ.size(); }
+    std::size_t cycle_count() const { return cycles_.size(); }
+    /// Target degree of the projected graph: kappa = 2d.
+    std::size_t kappa() const { return 2 * cycles_.size(); }
+
+    bool contains(graph::NodeId u) const;
+    std::vector<graph::NodeId> members_sorted() const;
+
+    /// Law-Siu INSERT. Requires !contains(u) and size() >= 1.
+    void insert(graph::NodeId u, util::Rng& rng);
+
+    /// Law-Siu DELETE. Requires contains(u) and size() >= 2.
+    void remove(graph::NodeId u);
+
+    graph::NodeId successor(graph::NodeId u, std::size_t cycle) const;
+    graph::NodeId predecessor(graph::NodeId u, std::size_t cycle) const;
+
+    /// Simple-graph projection: distinct undirected pairs over all cycles,
+    /// self-loops dropped, sorted ascending. This is the edge set a cloud
+    /// claims in the network.
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> edges() const;
+
+    /// Structural self-check (each cycle is a single permutation cycle over
+    /// all members, pred/succ mirror each other). Throws on violation.
+    void validate() const;
+
+private:
+    struct Cycle {
+        std::unordered_map<graph::NodeId, graph::NodeId> succ;
+        std::unordered_map<graph::NodeId, graph::NodeId> pred;
+    };
+    std::vector<Cycle> cycles_;
+};
+
+}  // namespace xheal::expander

@@ -1,0 +1,172 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace xheal::graph {
+
+std::unordered_map<NodeId, std::size_t> bfs_distances(const Graph& g, NodeId src) {
+    XHEAL_EXPECTS(g.has_node(src));
+    std::unordered_map<NodeId, std::size_t> dist;
+    dist.reserve(g.node_count());
+    std::deque<NodeId> queue;
+    dist.emplace(src, 0);
+    queue.push_back(src);
+    while (!queue.empty()) {
+        NodeId u = queue.front();
+        queue.pop_front();
+        std::size_t du = dist.at(u);
+        for (const auto& [v, _] : g.adjacency(u)) {
+            if (dist.emplace(v, du + 1).second) queue.push_back(v);
+        }
+    }
+    return dist;
+}
+
+std::optional<std::size_t> distance(const Graph& g, NodeId u, NodeId v) {
+    XHEAL_EXPECTS(g.has_node(u));
+    XHEAL_EXPECTS(g.has_node(v));
+    if (u == v) return 0;
+    auto dist = bfs_distances(g, u);
+    auto it = dist.find(v);
+    if (it == dist.end()) return std::nullopt;
+    return it->second;
+}
+
+bool is_connected(const Graph& g) {
+    if (g.node_count() <= 1) return true;
+    NodeId start = g.nodes_sorted().front();
+    return bfs_distances(g, start).size() == g.node_count();
+}
+
+std::vector<std::vector<NodeId>> connected_components(const Graph& g) {
+    std::vector<std::vector<NodeId>> comps;
+    std::unordered_set<NodeId> seen;
+    for (NodeId v : g.nodes_sorted()) {
+        if (seen.contains(v)) continue;
+        auto dist = bfs_distances(g, v);
+        std::vector<NodeId> comp;
+        comp.reserve(dist.size());
+        for (const auto& [u, _] : dist) {
+            comp.push_back(u);
+            seen.insert(u);
+        }
+        std::sort(comp.begin(), comp.end());
+        comps.push_back(std::move(comp));
+    }
+    return comps;
+}
+
+std::optional<std::size_t> diameter_exact(const Graph& g) {
+    if (g.node_count() == 0) return std::nullopt;
+    std::size_t diameter = 0;
+    for (NodeId v : g.nodes_sorted()) {
+        auto dist = bfs_distances(g, v);
+        if (dist.size() != g.node_count()) return std::nullopt;
+        for (const auto& [_, d] : dist) diameter = std::max(diameter, d);
+    }
+    return diameter;
+}
+
+namespace {
+
+/// Iterative Tarjan lowpoint DFS (recursion would overflow on long paths).
+struct ArticulationState {
+    const Graph& g;
+    std::unordered_map<NodeId, std::size_t> disc;
+    std::unordered_map<NodeId, std::size_t> low;
+    std::unordered_set<NodeId> cut;
+    std::size_t timer = 0;
+
+    explicit ArticulationState(const Graph& graph) : g(graph) {}
+
+    void run(NodeId root) {
+        struct Frame {
+            NodeId node;
+            NodeId parent;
+            std::vector<NodeId> nbrs;
+            std::size_t next = 0;
+            std::size_t child_count = 0;
+        };
+        std::vector<Frame> stack;
+        stack.push_back({root, invalid_node, g.neighbors_sorted(root), 0, 0});
+        disc[root] = low[root] = timer++;
+        while (!stack.empty()) {
+            Frame& f = stack.back();
+            if (f.next < f.nbrs.size()) {
+                NodeId w = f.nbrs[f.next++];
+                if (w == f.parent) continue;
+                auto it = disc.find(w);
+                if (it != disc.end()) {
+                    low[f.node] = std::min(low[f.node], it->second);
+                    continue;
+                }
+                ++f.child_count;
+                disc[w] = low[w] = timer++;
+                stack.push_back({w, f.node, g.neighbors_sorted(w), 0, 0});
+            } else {
+                NodeId done = f.node;
+                NodeId parent = f.parent;
+                std::size_t root_children = f.child_count;
+                stack.pop_back();
+                if (parent == invalid_node) {
+                    if (root_children >= 2) cut.insert(done);
+                    continue;
+                }
+                Frame& pf = stack.back();
+                low[pf.node] = std::min(low[pf.node], low[done]);
+                // Non-root parent is a cut vertex if the finished child
+                // cannot reach above the parent. The root is handled by the
+                // child-count rule when its own frame pops.
+                if (pf.parent != invalid_node && low[done] >= disc[pf.node]) {
+                    cut.insert(pf.node);
+                }
+            }
+        }
+    }
+};
+
+}  // namespace
+
+std::vector<NodeId> articulation_points(const Graph& g) {
+    ArticulationState state(g);
+    for (NodeId v : g.nodes_sorted()) {
+        if (!state.disc.contains(v)) state.run(v);
+    }
+    std::vector<NodeId> out(state.cut.begin(), state.cut.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::size_t cut_size(const Graph& g, const std::unordered_set<NodeId>& s) {
+    std::size_t crossing = 0;
+    for (NodeId u : s) {
+        XHEAL_EXPECTS(g.has_node(u));
+        for (const auto& [v, _] : g.adjacency(u)) {
+            if (!s.contains(v)) ++crossing;
+        }
+    }
+    return crossing;
+}
+
+double stretch_vs(const Graph& g, const Graph& ref, const std::vector<NodeId>& sources) {
+    std::vector<NodeId> srcs = sources.empty() ? g.nodes_sorted() : sources;
+    double worst = 0.0;
+    for (NodeId s : srcs) {
+        if (!g.has_node(s) || !ref.has_node(s)) continue;
+        auto dg = bfs_distances(g, s);
+        auto dr = bfs_distances(ref, s);
+        for (const auto& [t, ref_dist] : dr) {
+            if (t == s || ref_dist == 0) continue;
+            if (!g.has_node(t)) continue;  // deleted nodes don't count
+            auto it = dg.find(t);
+            if (it == dg.end()) return std::numeric_limits<double>::infinity();
+            double ratio = static_cast<double>(it->second) / static_cast<double>(ref_dist);
+            worst = std::max(worst, ratio);
+        }
+    }
+    return worst;
+}
+
+}  // namespace xheal::graph

@@ -1,0 +1,43 @@
+// Graph traversal and structural queries used by metrics, tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xheal::graph {
+
+/// BFS hop distances from `src` to every reachable node (src included, 0).
+std::unordered_map<NodeId, std::size_t> bfs_distances(const Graph& g, NodeId src);
+
+/// Shortest-path length between u and v; nullopt if disconnected.
+std::optional<std::size_t> distance(const Graph& g, NodeId u, NodeId v);
+
+/// True iff the graph is connected (the empty graph counts as connected).
+bool is_connected(const Graph& g);
+
+/// Connected components, each sorted ascending; components sorted by their
+/// smallest member.
+std::vector<std::vector<NodeId>> connected_components(const Graph& g);
+
+/// Exact diameter via BFS from every node. O(n * m); small graphs only.
+/// Returns nullopt for disconnected or empty graphs.
+std::optional<std::size_t> diameter_exact(const Graph& g);
+
+/// Articulation points (cut vertices) via Tarjan lowpoint DFS.
+std::vector<NodeId> articulation_points(const Graph& g);
+
+/// Number of edges crossing the cut (S, V - S). Nodes of S must exist in g.
+std::size_t cut_size(const Graph& g, const std::unordered_set<NodeId>& s);
+
+/// Maximum over sampled node pairs of dist(u,v,g) / dist(u,v,ref), the
+/// paper's network-stretch metric. Pairs are BFS'd from `sources` (every
+/// node if empty); only pairs alive in *both* graphs and connected in `ref`
+/// count. Pairs disconnected in g while connected in ref yield +infinity.
+double stretch_vs(const Graph& g, const Graph& ref, const std::vector<NodeId>& sources = {});
+
+}  // namespace xheal::graph

@@ -1,0 +1,162 @@
+#include "graph/graph.hpp"
+
+namespace xheal::graph {
+
+NodeId Graph::add_node() {
+    NodeId v = next_id_++;
+    adjacency_.emplace(v, std::unordered_map<NodeId, EdgeClaims>{});
+    return v;
+}
+
+void Graph::add_node_with_id(NodeId v) {
+    XHEAL_EXPECTS(v != invalid_node);
+    XHEAL_EXPECTS(!has_node(v));
+    adjacency_.emplace(v, std::unordered_map<NodeId, EdgeClaims>{});
+    if (v >= next_id_) next_id_ = v + 1;
+}
+
+void Graph::remove_node(NodeId v) {
+    XHEAL_EXPECTS(has_node(v));
+    auto& row = adjacency_.at(v);
+    std::vector<NodeId> nbrs;
+    nbrs.reserve(row.size());
+    for (const auto& [u, _] : row) nbrs.push_back(u);
+    for (NodeId u : nbrs) {
+        adjacency_.at(u).erase(v);
+        --edge_count_;
+    }
+    adjacency_.erase(v);
+}
+
+std::vector<NodeId> Graph::nodes_sorted() const {
+    std::vector<NodeId> out;
+    out.reserve(adjacency_.size());
+    for (const auto& [v, _] : adjacency_) out.push_back(v);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+EdgeClaims& Graph::mutable_claims(NodeId u, NodeId v) {
+    XHEAL_EXPECTS(u != v);
+    XHEAL_EXPECTS(has_node(u));
+    XHEAL_EXPECTS(has_node(v));
+    auto& row = adjacency_.at(u);
+    auto it = row.find(v);
+    if (it == row.end()) {
+        // Create the edge in both rows; they share logical state so every
+        // mutation below is mirrored explicitly by callers.
+        row.emplace(v, EdgeClaims{});
+        adjacency_.at(v).emplace(u, EdgeClaims{});
+        ++edge_count_;
+        return row.at(v);
+    }
+    return it->second;
+}
+
+void Graph::add_black_edge(NodeId u, NodeId v) {
+    EdgeClaims& c = mutable_claims(u, v);
+    if (c.black) return;
+    c.black = true;
+    adjacency_.at(v).at(u).black = true;
+}
+
+void Graph::add_color_claim(NodeId u, NodeId v, ColorId color) {
+    XHEAL_EXPECTS(color != invalid_color);
+    EdgeClaims& c = mutable_claims(u, v);
+    auto pos = std::lower_bound(c.colors.begin(), c.colors.end(), color);
+    if (pos != c.colors.end() && *pos == color) return;
+    c.colors.insert(pos, color);
+    auto& mirror = adjacency_.at(v).at(u);
+    auto mpos = std::lower_bound(mirror.colors.begin(), mirror.colors.end(), color);
+    mirror.colors.insert(mpos, color);
+}
+
+void Graph::erase_edge(NodeId u, NodeId v) {
+    adjacency_.at(u).erase(v);
+    adjacency_.at(v).erase(u);
+    --edge_count_;
+}
+
+bool Graph::remove_color_claim(NodeId u, NodeId v, ColorId color) {
+    if (!has_edge(u, v)) return false;
+    auto& c = adjacency_.at(u).at(v);
+    auto pos = std::lower_bound(c.colors.begin(), c.colors.end(), color);
+    if (pos == c.colors.end() || *pos != color) return false;
+    c.colors.erase(pos);
+    auto& mirror = adjacency_.at(v).at(u);
+    auto mpos = std::lower_bound(mirror.colors.begin(), mirror.colors.end(), color);
+    mirror.colors.erase(mpos);
+    if (c.empty()) erase_edge(u, v);
+    return true;
+}
+
+bool Graph::remove_black_claim(NodeId u, NodeId v) {
+    if (!has_edge(u, v)) return false;
+    auto& c = adjacency_.at(u).at(v);
+    if (!c.black) return false;
+    c.black = false;
+    adjacency_.at(v).at(u).black = false;
+    if (c.empty()) erase_edge(u, v);
+    return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+    auto it = adjacency_.find(u);
+    if (it == adjacency_.end()) return false;
+    return it->second.contains(v);
+}
+
+bool Graph::has_black_claim(NodeId u, NodeId v) const {
+    if (!has_edge(u, v)) return false;
+    return adjacency_.at(u).at(v).black;
+}
+
+bool Graph::has_color_claim(NodeId u, NodeId v, ColorId c) const {
+    if (!has_edge(u, v)) return false;
+    return adjacency_.at(u).at(v).has_color(c);
+}
+
+bool Graph::is_colored_edge(NodeId u, NodeId v) const {
+    if (!has_edge(u, v)) return false;
+    return adjacency_.at(u).at(v).colored();
+}
+
+const EdgeClaims& Graph::claims(NodeId u, NodeId v) const {
+    XHEAL_EXPECTS(has_edge(u, v));
+    return adjacency_.at(u).at(v);
+}
+
+std::size_t Graph::degree(NodeId v) const {
+    XHEAL_EXPECTS(has_node(v));
+    return adjacency_.at(v).size();
+}
+
+std::vector<NodeId> Graph::neighbors_sorted(NodeId v) const {
+    XHEAL_EXPECTS(has_node(v));
+    std::vector<NodeId> out;
+    const auto& row = adjacency_.at(v);
+    out.reserve(row.size());
+    for (const auto& [u, _] : row) out.push_back(u);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+const std::unordered_map<NodeId, EdgeClaims>& Graph::adjacency(NodeId v) const {
+    XHEAL_EXPECTS(has_node(v));
+    return adjacency_.at(v);
+}
+
+std::size_t Graph::max_degree() const {
+    std::size_t best = 0;
+    for (const auto& [v, row] : adjacency_) best = std::max(best, row.size());
+    return best;
+}
+
+std::size_t Graph::min_degree() const {
+    if (adjacency_.empty()) return 0;
+    std::size_t best = SIZE_MAX;
+    for (const auto& [v, row] : adjacency_) best = std::min(best, row.size());
+    return best;
+}
+
+}  // namespace xheal::graph

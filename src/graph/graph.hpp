@@ -1,0 +1,133 @@
+// Dynamic undirected simple graph with multi-claim colored edges.
+//
+// Xheal recolors an existing black (adversary) edge rather than creating a
+// multi-edge, and expander clouds later drop their edges when rebuilt. To
+// make both safe, each edge carries a *set of claims*:
+//
+//   - a black claim: the edge belongs to the original/inserted graph G', and
+//   - zero or more color claims: one per expander cloud using the edge.
+//
+// The edge physically exists while at least one claim remains. Dropping a
+// cloud's claim on an edge that is also black reverts it to a black edge
+// instead of deleting it, so every G' edge between two surviving nodes is
+// always present in the healed graph (DESIGN.md decision 1).
+//
+// Node ids are allocated monotonically and never reused, so the healed graph
+// G_t and the insert-only reference graph G'_t share one id space.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/expects.hpp"
+
+namespace xheal::graph {
+
+/// Claim set of one edge. `colors` is a small sorted vector used as a set.
+struct EdgeClaims {
+    bool black = false;
+    std::vector<ColorId> colors;
+
+    bool empty() const { return !black && colors.empty(); }
+    bool has_color(ColorId c) const {
+        return std::binary_search(colors.begin(), colors.end(), c);
+    }
+    bool colored() const { return !colors.empty(); }
+};
+
+class Graph {
+public:
+    Graph() = default;
+
+    // ----- nodes -----
+
+    /// Allocate and insert a fresh node; returns its id.
+    NodeId add_node();
+
+    /// Insert a node with a caller-chosen id (used to mirror ids between G
+    /// and G'). The id must not be present.
+    void add_node_with_id(NodeId v);
+
+    /// Remove a node and all incident edges (all claims). Requires presence.
+    void remove_node(NodeId v);
+
+    bool has_node(NodeId v) const { return adjacency_.contains(v); }
+    std::size_t node_count() const { return adjacency_.size(); }
+
+    /// All node ids in ascending order (deterministic iteration).
+    std::vector<NodeId> nodes_sorted() const;
+
+    // ----- edges / claims -----
+
+    /// Add the black claim on (u, v). Idempotent. u != v, both present.
+    void add_black_edge(NodeId u, NodeId v);
+
+    /// Add color claim c on (u, v). Idempotent. u != v, both present,
+    /// c != invalid_color.
+    void add_color_claim(NodeId u, NodeId v, ColorId c);
+
+    /// Remove color claim c from (u, v) if present; removes the edge when no
+    /// claims remain. Returns true if the claim existed.
+    bool remove_color_claim(NodeId u, NodeId v, ColorId c);
+
+    /// Remove the black claim from (u, v) if present; removes the edge when
+    /// no claims remain. Returns true if the claim existed. (The healer never
+    /// calls this; provided for tests and baselines.)
+    bool remove_black_claim(NodeId u, NodeId v);
+
+    bool has_edge(NodeId u, NodeId v) const;
+    bool has_black_claim(NodeId u, NodeId v) const;
+    bool has_color_claim(NodeId u, NodeId v, ColorId c) const;
+    /// True if the edge exists and some cloud claims it.
+    bool is_colored_edge(NodeId u, NodeId v) const;
+
+    /// Claims of an existing edge. Requires has_edge(u, v).
+    const EdgeClaims& claims(NodeId u, NodeId v) const;
+
+    std::size_t degree(NodeId v) const;
+    std::size_t edge_count() const { return edge_count_; }
+
+    /// Neighbors of v in ascending id order (deterministic iteration).
+    std::vector<NodeId> neighbors_sorted(NodeId v) const;
+
+    /// Raw adjacency row of v (unordered). Requires presence.
+    const std::unordered_map<NodeId, EdgeClaims>& adjacency(NodeId v) const;
+
+    /// Visit every edge once as (u, v, claims) with u < v, in ascending
+    /// (u, v) order.
+    template <typename F>
+    void for_each_edge(F&& f) const {
+        for (NodeId u : nodes_sorted()) {
+            for (NodeId v : neighbors_sorted(u)) {
+                if (u < v) f(u, v, claims(u, v));
+            }
+        }
+    }
+
+    /// Sum of degrees of the given nodes (the paper's vol(S)).
+    template <typename Range>
+    std::size_t volume(const Range& nodes) const {
+        std::size_t vol = 0;
+        for (NodeId v : nodes) vol += degree(v);
+        return vol;
+    }
+
+    std::size_t max_degree() const;
+    std::size_t min_degree() const;
+
+    /// Next id that add_node() would return (ids below are used or retired).
+    NodeId next_id() const { return next_id_; }
+
+private:
+    EdgeClaims& mutable_claims(NodeId u, NodeId v);
+    void erase_edge(NodeId u, NodeId v);
+
+    std::unordered_map<NodeId, std::unordered_map<NodeId, EdgeClaims>> adjacency_;
+    std::size_t edge_count_ = 0;
+    NodeId next_id_ = 0;
+};
+
+}  // namespace xheal::graph

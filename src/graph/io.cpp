@@ -1,0 +1,47 @@
+#include "graph/io.hpp"
+
+#include <array>
+#include <ostream>
+
+namespace xheal::graph {
+
+namespace {
+
+/// Small fixed palette for cloud colors.
+const char* palette_color(ColorId c) {
+    static constexpr std::array<const char*, 8> palette = {
+        "red", "orange", "blue", "green", "purple", "brown", "magenta", "cyan"};
+    return palette[c % palette.size()];
+}
+
+}  // namespace
+
+void write_dot(std::ostream& out, const Graph& g, const char* name) {
+    out << "graph " << name << " {\n";
+    out << "  node [shape=circle];\n";
+    for (NodeId v : g.nodes_sorted()) out << "  n" << v << ";\n";
+    g.for_each_edge([&](NodeId u, NodeId v, const EdgeClaims& claims) {
+        out << "  n" << u << " -- n" << v;
+        if (claims.colored()) {
+            out << " [color=" << palette_color(claims.colors.front()) << ", label=\"";
+            for (std::size_t i = 0; i < claims.colors.size(); ++i) {
+                if (i > 0) out << ',';
+                out << claims.colors[i];
+            }
+            out << "\"]";
+        }
+        out << ";\n";
+    });
+    out << "}\n";
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+    g.for_each_edge([&](NodeId u, NodeId v, const EdgeClaims& claims) {
+        out << u << ' ' << v;
+        if (claims.black) out << " black";
+        for (ColorId c : claims.colors) out << ' ' << c;
+        out << '\n';
+    });
+}
+
+}  // namespace xheal::graph

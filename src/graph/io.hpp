@@ -1,0 +1,19 @@
+// Graph export helpers: Graphviz DOT (cloud edges colored) and a plain
+// edge list, for inspecting healed topologies outside the library.
+#pragma once
+
+#include <iosfwd>
+
+#include "graph/graph.hpp"
+
+namespace xheal::graph {
+
+/// Graphviz DOT output. Black-claim-only edges render solid black; edges
+/// claimed by clouds render colored (a deterministic palette keyed by the
+/// lowest claiming color id) with the color ids in the edge label.
+void write_dot(std::ostream& out, const Graph& g, const char* name = "xheal");
+
+/// One "u v [black] [c1,c2,...]" line per edge, ascending.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+}  // namespace xheal::graph

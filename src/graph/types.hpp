@@ -1,0 +1,23 @@
+// Fundamental identifiers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace xheal::graph {
+
+/// Identifier of a node (processor). Ids are never reused after deletion so
+/// that the insert-only reference graph G' and the healed graph G stay in
+/// one id space.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId invalid_node = std::numeric_limits<NodeId>::max();
+
+/// Identifier of an edge color, i.e. of an expander cloud. Color 0 is
+/// reserved; the graph layer treats colors as opaque tags — whether a color
+/// is a primary or secondary cloud is tracked by the core layer's registry.
+using ColorId = std::uint32_t;
+
+inline constexpr ColorId invalid_color = 0;
+
+}  // namespace xheal::graph

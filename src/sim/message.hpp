@@ -1,0 +1,35 @@
+// Message type for the synchronous LOCAL-model simulator. The LOCAL model
+// (paper Section 2) does not bound message size, so the payload is an
+// arbitrary vector of words; `type` is a protocol-defined tag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace xheal::sim {
+
+struct Message {
+    graph::NodeId from = graph::invalid_node;
+    graph::NodeId to = graph::invalid_node;
+    int type = 0;
+    std::vector<std::uint64_t> payload;
+};
+
+/// Well-known message tags used by the Xheal repair protocol. Protocols may
+/// define additional tags above user_base.
+namespace tag {
+inline constexpr int deletion_notice = 1;   ///< neighbor informed of deletion
+inline constexpr int splice = 2;            ///< H-graph cycle splice repair
+inline constexpr int elect = 3;             ///< leader-election tournament
+inline constexpr int inform_topology = 4;   ///< leader installs cloud edges
+inline constexpr int leader_announce = 5;   ///< new leader broadcast
+inline constexpr int free_query = 6;        ///< ask a cloud leader for a free node
+inline constexpr int free_reply = 7;        ///< leader's reply
+inline constexpr int flood = 8;             ///< BFS wave (combine operation)
+inline constexpr int converge = 9;          ///< BFS convergecast of addresses
+inline constexpr int user_base = 100;
+}  // namespace tag
+
+}  // namespace xheal::sim

@@ -1,0 +1,65 @@
+#include "sim/network.hpp"
+
+namespace xheal::sim {
+
+std::size_t Context::round() const { return network_.rounds_executed(); }
+
+void Context::send(graph::NodeId to, int type, std::vector<std::uint64_t> payload) {
+    network_.enqueue(Message{self_, to, type, std::move(payload)});
+}
+
+void Network::add_node(graph::NodeId id, Handler handler) {
+    XHEAL_EXPECTS(!has_node(id));
+    handlers_.emplace(id, std::move(handler));
+}
+
+void Network::remove_node(graph::NodeId id) {
+    XHEAL_EXPECTS(has_node(id));
+    handlers_.erase(id);
+}
+
+void Network::set_handler(graph::NodeId id, Handler handler) {
+    XHEAL_EXPECTS(has_node(id));
+    handlers_[id] = std::move(handler);
+}
+
+void Network::post(Message m) { enqueue(std::move(m)); }
+
+void Network::post(graph::NodeId from, graph::NodeId to, int type,
+                   std::vector<std::uint64_t> payload) {
+    enqueue(Message{from, to, type, std::move(payload)});
+}
+
+void Network::enqueue(Message m) {
+    ++messages_sent_;
+    next_.push_back(std::move(m));
+}
+
+std::size_t Network::step() {
+    if (next_.empty()) return 0;
+    std::vector<Message> current;
+    current.swap(next_);
+    ++rounds_;
+    std::size_t delivered = 0;
+    for (const Message& m : current) {
+        auto it = handlers_.find(m.to);
+        if (it == handlers_.end()) continue;  // deleted node: message dropped
+        ++delivered;
+        if (it->second) {
+            Context ctx(*this, m.to);
+            it->second(m, ctx);
+        }
+    }
+    return delivered;
+}
+
+std::size_t Network::run(std::size_t max_rounds) {
+    std::size_t executed = 0;
+    while (!idle() && executed < max_rounds) {
+        step();
+        ++executed;
+    }
+    return executed;
+}
+
+}  // namespace xheal::sim

@@ -1,0 +1,86 @@
+// Synchronous round-based message-passing network (the LOCAL model of the
+// paper's Fig. 1): messages sent in round r are delivered at the start of
+// round r+1; all nodes process their inboxes in parallel; messages are
+// never lost except when addressed to a deleted node. The network counts
+// every message sent and every round executed — these counters are the
+// measurements behind the Theorem 5 benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "util/expects.hpp"
+
+namespace xheal::sim {
+
+class Network;
+
+/// Handed to a node's handler so it can reply; sends are delivered next
+/// round.
+class Context {
+public:
+    graph::NodeId self() const { return self_; }
+    std::size_t round() const;
+    void send(graph::NodeId to, int type, std::vector<std::uint64_t> payload = {});
+
+private:
+    friend class Network;
+    Context(Network& net, graph::NodeId self) : network_(net), self_(self) {}
+    Network& network_;
+    graph::NodeId self_;
+};
+
+/// Per-node message handler. An empty handler makes the node a sink (it
+/// still receives, which counts, but does not react).
+using Handler = std::function<void(const Message&, Context&)>;
+
+class Network {
+public:
+    /// Register a node. Ids must be unique among live nodes.
+    void add_node(graph::NodeId id, Handler handler = {});
+
+    /// Remove a node; in-flight messages to it are dropped on delivery.
+    void remove_node(graph::NodeId id);
+
+    bool has_node(graph::NodeId id) const { return handlers_.contains(id); }
+    std::size_t node_count() const { return handlers_.size(); }
+
+    void set_handler(graph::NodeId id, Handler handler);
+
+    /// Inject a message from the environment (delivered next step()).
+    void post(Message m);
+    void post(graph::NodeId from, graph::NodeId to, int type,
+              std::vector<std::uint64_t> payload = {});
+
+    /// Deliver one synchronous round. Returns the number of messages
+    /// delivered (0 when already quiescent, in which case no round is
+    /// charged).
+    std::size_t step();
+
+    /// Step until quiescent or max_rounds elapsed; returns rounds executed.
+    std::size_t run(std::size_t max_rounds = 1'000'000);
+
+    bool idle() const { return next_.empty(); }
+
+    // ---- counters ----
+    std::uint64_t messages_sent() const { return messages_sent_; }
+    std::uint64_t rounds_executed() const { return rounds_; }
+    void reset_counters() {
+        messages_sent_ = 0;
+        rounds_ = 0;
+    }
+
+private:
+    friend class Context;
+    void enqueue(Message m);
+
+    std::unordered_map<graph::NodeId, Handler> handlers_;
+    std::vector<Message> next_;
+    std::uint64_t messages_sent_ = 0;
+    std::uint64_t rounds_ = 0;
+};
+
+}  // namespace xheal::sim

@@ -1,0 +1,44 @@
+// Minimal dense symmetric matrix used by the eigensolvers. The library
+// implements its own numerics (no external eigen dependency); matrices stay
+// small (n <= a few hundred) because large-n paths use the sparse Lanczos
+// solver that never materializes the operator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace xheal::spectral {
+
+class DenseMatrix {
+public:
+    DenseMatrix() = default;
+    explicit DenseMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+    std::size_t size() const { return n_; }
+
+    double& at(std::size_t i, std::size_t j) {
+        XHEAL_EXPECTS(i < n_ && j < n_);
+        return data_[i * n_ + j];
+    }
+    double at(std::size_t i, std::size_t j) const {
+        XHEAL_EXPECTS(i < n_ && j < n_);
+        return data_[i * n_ + j];
+    }
+
+    /// y = M * x. Requires x.size() == n.
+    std::vector<double> multiply(const std::vector<double>& x) const;
+
+    /// max |M(i,j) - M(j,i)|, for symmetry checks in tests.
+    double symmetry_error() const;
+
+    /// Identity matrix of size n.
+    static DenseMatrix identity(std::size_t n);
+
+private:
+    std::size_t n_ = 0;
+    std::vector<double> data_;
+};
+
+}  // namespace xheal::spectral

@@ -1,0 +1,126 @@
+#include "spectral/lanczos.hpp"
+
+#include <cmath>
+
+#include "spectral/tridiag.hpp"
+#include "util/expects.hpp"
+
+namespace xheal::spectral {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(std::vector<double>& y, double alpha, const std::vector<double>& x) {
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::vector<double>& y, double alpha) {
+    for (double& v : y) v *= alpha;
+}
+
+/// Remove the components of v along every vector in basis plus the kernel.
+/// Applied twice by callers for numerical robustness (classic
+/// "twice is enough" Gram-Schmidt).
+void orthogonalize(std::vector<double>& v, const std::vector<std::vector<double>>& basis,
+                   const std::vector<double>& kernel) {
+    if (!kernel.empty()) axpy(v, -dot(v, kernel), kernel);
+    for (const auto& b : basis) axpy(v, -dot(v, b), b);
+}
+
+}  // namespace
+
+LanczosResult lanczos_smallest(const LinearOperator& apply, std::size_t n,
+                               const std::vector<double>& kernel, util::Rng& rng,
+                               std::size_t max_iterations, double tolerance) {
+    XHEAL_EXPECTS(n >= 1);
+    XHEAL_EXPECTS(kernel.empty() || kernel.size() == n);
+
+    LanczosResult result;
+    if (n == 1) {
+        // Only the kernel direction exists; nothing orthogonal to deflate.
+        result.vector.assign(1, 1.0);
+        std::vector<double> y(1, 0.0);
+        apply(result.vector, y);
+        result.value = y[0];
+        result.converged = true;
+        return result;
+    }
+
+    std::size_t m = std::min(max_iterations, n - (kernel.empty() ? 0 : 1));
+    if (m == 0) m = 1;
+
+    std::vector<std::vector<double>> basis;
+    std::vector<double> alphas, betas;
+    basis.reserve(m);
+
+    // Random unit start vector orthogonal to the kernel.
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.uniform01() - 0.5;
+    orthogonalize(v, basis, kernel);
+    double vn = norm(v);
+    if (vn < 1e-14) {
+        // Degenerate draw; retry deterministically with a basis vector mix.
+        for (std::size_t i = 0; i < n; ++i) v[i] = (i % 2 == 0) ? 1.0 : -1.0;
+        orthogonalize(v, basis, kernel);
+        vn = norm(v);
+    }
+    XHEAL_ASSERT(vn > 1e-14);
+    scale(v, 1.0 / vn);
+
+    std::vector<double> w(n);
+    double previous_theta = 0.0;
+    bool have_previous = false;
+
+    for (std::size_t j = 0; j < m; ++j) {
+        basis.push_back(v);
+        apply(v, w);
+        double alpha = dot(w, v);
+        alphas.push_back(alpha);
+        axpy(w, -alpha, v);
+        if (j > 0) axpy(w, -betas.back(), basis[j - 1]);
+        // Full reorthogonalization, twice.
+        orthogonalize(w, basis, kernel);
+        orthogonalize(w, basis, kernel);
+        double beta = norm(w);
+        result.iterations = j + 1;
+
+        // Convergence probe on the smallest Ritz value every few steps.
+        if (beta < 1e-12 || j + 1 == m || (j >= 8 && j % 4 == 0)) {
+            auto values = tridiag_eigenvalues(alphas, betas);
+            double theta = values.front();
+            if (have_previous && std::abs(theta - previous_theta) <=
+                                     tolerance * std::max(1.0, std::abs(theta))) {
+                result.converged = true;
+            }
+            previous_theta = theta;
+            have_previous = true;
+            if (beta < 1e-12) {
+                result.converged = true;  // Krylov space exhausted: exact in span
+                break;
+            }
+            if (result.converged && j + 1 < m) break;
+        }
+        if (j + 1 == m) break;
+        betas.push_back(beta);
+        v = w;
+        scale(v, 1.0 / beta);
+    }
+
+    auto eig = tridiag_eigen(alphas, betas);
+    result.value = eig.values.front();
+    result.vector.assign(n, 0.0);
+    const auto& s = eig.vectors.front();
+    for (std::size_t j = 0; j < basis.size(); ++j) axpy(result.vector, s[j], basis[j]);
+    double rn = norm(result.vector);
+    if (rn > 1e-14) scale(result.vector, 1.0 / rn);
+    return result;
+}
+
+}  // namespace xheal::spectral

@@ -1,0 +1,36 @@
+// Lanczos iteration with full reorthogonalization for the smallest
+// eigenpair of a symmetric PSD operator restricted to the complement of a
+// known kernel vector. This is exactly the lambda2 computation for graph
+// Laplacians: the kernel is the all-ones vector (combinatorial) or D^{1/2} 1
+// (normalized), and the smallest eigenvalue orthogonal to it is the
+// algebraic connectivity.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace xheal::spectral {
+
+/// apply(x, y): y = A * x, with x.size() == y.size() == n.
+using LinearOperator =
+    std::function<void(const std::vector<double>&, std::vector<double>&)>;
+
+struct LanczosResult {
+    double value = 0.0;            ///< smallest Ritz value found
+    std::vector<double> vector;    ///< corresponding Ritz vector (unit norm)
+    std::size_t iterations = 0;    ///< Lanczos steps performed
+    bool converged = false;        ///< Ritz value stabilized below tolerance
+};
+
+/// Smallest eigenpair of A restricted to the orthogonal complement of
+/// `kernel` (must be unit norm, or empty to disable deflation).
+/// Deterministic given the rng state.
+LanczosResult lanczos_smallest(const LinearOperator& apply, std::size_t n,
+                               const std::vector<double>& kernel, util::Rng& rng,
+                               std::size_t max_iterations = 160,
+                               double tolerance = 1e-9);
+
+}  // namespace xheal::spectral

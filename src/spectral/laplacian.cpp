@@ -1,0 +1,158 @@
+#include "spectral/laplacian.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+#include "spectral/jacobi.hpp"
+#include "spectral/lanczos.hpp"
+
+namespace xheal::spectral {
+
+using graph::Graph;
+using graph::NodeId;
+
+DenseMatrix laplacian_dense(const Graph& g, LaplacianKind kind) {
+    auto nodes = g.nodes_sorted();
+    std::unordered_map<NodeId, std::size_t> index;
+    index.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i], i);
+
+    DenseMatrix m(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        std::size_t deg_i = g.degree(nodes[i]);
+        if (deg_i == 0) continue;  // isolated vertex: zero row
+        if (kind == LaplacianKind::combinatorial) {
+            m.at(i, i) = static_cast<double>(deg_i);
+            for (const auto& [v, _] : g.adjacency(nodes[i])) m.at(i, index.at(v)) = -1.0;
+        } else {
+            m.at(i, i) = 1.0;
+            double di = std::sqrt(static_cast<double>(deg_i));
+            for (const auto& [v, _] : g.adjacency(nodes[i])) {
+                double dj = std::sqrt(static_cast<double>(g.degree(v)));
+                m.at(i, index.at(v)) = -1.0 / (di * dj);
+            }
+        }
+    }
+    return m;
+}
+
+std::vector<double> laplacian_spectrum(const Graph& g, LaplacianKind kind) {
+    return jacobi_eigenvalues(laplacian_dense(g, kind));
+}
+
+namespace {
+
+/// Kernel (eigenvalue-0 eigenvector) of the Laplacian of a connected graph:
+/// all-ones for the combinatorial kind, D^{1/2} 1 for the normalized kind.
+/// Unit norm. Empty if the total degree is zero.
+std::vector<double> kernel_vector(const Graph& g, const std::vector<NodeId>& nodes,
+                                  LaplacianKind kind) {
+    std::vector<double> k(nodes.size(), 0.0);
+    double sq = 0.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        double entry = kind == LaplacianKind::combinatorial
+                           ? 1.0
+                           : std::sqrt(static_cast<double>(g.degree(nodes[i])));
+        k[i] = entry;
+        sq += entry * entry;
+    }
+    if (sq <= 0.0) return {};
+    double inv = 1.0 / std::sqrt(sq);
+    for (double& x : k) x *= inv;
+    return k;
+}
+
+FiedlerResult fiedler_dense(const Graph& g, LaplacianKind kind,
+                            const std::vector<NodeId>& nodes) {
+    auto eig = jacobi_eigen(laplacian_dense(g, kind));
+    FiedlerResult out;
+    out.nodes = nodes;
+    if (eig.values.size() < 2) {
+        out.lambda2 = 0.0;
+        out.vector.assign(nodes.size(), 0.0);
+        return out;
+    }
+    out.lambda2 = eig.values[1];
+    out.vector.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) out.vector[i] = eig.vectors.at(i, 1);
+    return out;
+}
+
+FiedlerResult fiedler_lanczos(const Graph& g, LaplacianKind kind,
+                              const std::vector<NodeId>& nodes, std::uint64_t seed) {
+    std::unordered_map<NodeId, std::size_t> index;
+    index.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i], i);
+
+    // Pre-resolve the sparse structure once: neighbor index lists.
+    std::vector<std::vector<std::size_t>> nbrs(nodes.size());
+    std::vector<double> inv_sqrt_deg(nodes.size(), 0.0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const auto& row = g.adjacency(nodes[i]);
+        nbrs[i].reserve(row.size());
+        for (const auto& [v, _] : row) nbrs[i].push_back(index.at(v));
+        if (!row.empty()) inv_sqrt_deg[i] = 1.0 / std::sqrt(static_cast<double>(row.size()));
+    }
+
+    LinearOperator apply;
+    if (kind == LaplacianKind::combinatorial) {
+        apply = [&nbrs](const std::vector<double>& x, std::vector<double>& y) {
+            for (std::size_t i = 0; i < x.size(); ++i) {
+                double acc = static_cast<double>(nbrs[i].size()) * x[i];
+                for (std::size_t j : nbrs[i]) acc -= x[j];
+                y[i] = acc;
+            }
+        };
+    } else {
+        apply = [&nbrs, &inv_sqrt_deg](const std::vector<double>& x, std::vector<double>& y) {
+            for (std::size_t i = 0; i < x.size(); ++i) {
+                if (nbrs[i].empty()) {
+                    y[i] = 0.0;
+                    continue;
+                }
+                double acc = x[i];
+                double scale_i = inv_sqrt_deg[i];
+                for (std::size_t j : nbrs[i]) acc -= scale_i * inv_sqrt_deg[j] * x[j];
+                y[i] = acc;
+            }
+        };
+    }
+
+    util::Rng rng(seed);
+    auto kernel = kernel_vector(g, nodes, kind);
+    auto res = lanczos_smallest(apply, nodes.size(), kernel, rng);
+
+    FiedlerResult out;
+    out.nodes = nodes;
+    out.lambda2 = std::max(0.0, res.value);  // clamp tiny negative round-off
+    out.vector = std::move(res.vector);
+    return out;
+}
+
+}  // namespace
+
+FiedlerResult fiedler(const Graph& g, LaplacianKind kind, std::uint64_t seed) {
+    auto nodes = g.nodes_sorted();
+    if (nodes.size() < 2) {
+        FiedlerResult out;
+        out.nodes = nodes;
+        out.vector.assign(nodes.size(), 0.0);
+        return out;
+    }
+    if (!graph::is_connected(g)) {
+        FiedlerResult out;
+        out.nodes = nodes;
+        out.lambda2 = 0.0;
+        out.vector.assign(nodes.size(), 0.0);
+        return out;
+    }
+    if (nodes.size() <= dense_spectral_limit) return fiedler_dense(g, kind, nodes);
+    return fiedler_lanczos(g, kind, nodes, seed);
+}
+
+double lambda2(const Graph& g, LaplacianKind kind, std::uint64_t seed) {
+    return fiedler(g, kind, seed).lambda2;
+}
+
+}  // namespace xheal::spectral

@@ -1,0 +1,54 @@
+// Graph Laplacians and the algebraic-connectivity front-end.
+//
+// The paper's lambda(G) (Theorem 1, Theorem 2(4)) is the second-smallest
+// eigenvalue of the *normalized* Laplacian L = I - D^{-1/2} A D^{-1/2}
+// (Chung's convention, which the Cheeger inequality 2*phi >= lambda >
+// phi^2/2 requires). The combinatorial Laplacian D - A is also provided for
+// tests against closed-form spectra.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "spectral/dense_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xheal::spectral {
+
+enum class LaplacianKind {
+    combinatorial,  ///< D - A
+    normalized,     ///< I - D^{-1/2} A D^{-1/2}
+};
+
+/// Dense Laplacian with rows/columns in graph.nodes_sorted() order.
+/// Isolated vertices contribute an all-zero row in both conventions.
+DenseMatrix laplacian_dense(const graph::Graph& g, LaplacianKind kind);
+
+/// All Laplacian eigenvalues (ascending) via Jacobi; n <= ~400 advised.
+std::vector<double> laplacian_spectrum(const graph::Graph& g, LaplacianKind kind);
+
+struct FiedlerResult {
+    double lambda2 = 0.0;
+    /// Eigenvector entries aligned with nodes_sorted(); for the normalized
+    /// kind this is the raw eigenvector y (sweep callers rescale by
+    /// D^{-1/2} themselves).
+    std::vector<double> vector;
+    std::vector<graph::NodeId> nodes;
+};
+
+/// Second-smallest Laplacian eigenvalue. Dense Jacobi for small graphs,
+/// sparse Lanczos (never materializing the matrix) for large ones.
+/// Returns 0 for graphs with < 2 nodes and (numerically) for disconnected
+/// graphs. Deterministic given the seed.
+double lambda2(const graph::Graph& g, LaplacianKind kind = LaplacianKind::normalized,
+               std::uint64_t seed = 12345);
+
+/// lambda2 together with the Fiedler vector (for sweep cuts).
+FiedlerResult fiedler(const graph::Graph& g,
+                      LaplacianKind kind = LaplacianKind::normalized,
+                      std::uint64_t seed = 12345);
+
+/// Threshold (node count) below which the dense path is used.
+inline constexpr std::size_t dense_spectral_limit = 160;
+
+}  // namespace xheal::spectral

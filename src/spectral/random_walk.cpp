@@ -1,0 +1,91 @@
+#include "spectral/random_walk.hpp"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "spectral/laplacian.hpp"
+#include "util/expects.hpp"
+
+namespace xheal::spectral {
+
+using graph::Graph;
+using graph::NodeId;
+
+std::vector<double> stationary_distribution(const Graph& g) {
+    XHEAL_EXPECTS(g.edge_count() > 0);
+    auto nodes = g.nodes_sorted();
+    std::vector<double> pi(nodes.size());
+    double total = 2.0 * static_cast<double>(g.edge_count());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        pi[i] = static_cast<double>(g.degree(nodes[i])) / total;
+    return pi;
+}
+
+std::vector<double> lazy_walk_step(const Graph& g, const std::vector<double>& p) {
+    auto nodes = g.nodes_sorted();
+    XHEAL_EXPECTS(p.size() == nodes.size());
+    std::unordered_map<NodeId, std::size_t> index;
+    index.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i], i);
+
+    std::vector<double> next(p.size(), 0.0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        double mass = p[i];
+        if (mass == 0.0) continue;
+        std::size_t deg = g.degree(nodes[i]);
+        if (deg == 0) {
+            next[i] += mass;  // isolated vertex holds its mass
+            continue;
+        }
+        next[i] += 0.5 * mass;
+        double share = 0.5 * mass / static_cast<double>(deg);
+        for (const auto& [u, _] : g.adjacency(nodes[i])) next[index.at(u)] += share;
+    }
+    return next;
+}
+
+double total_variation(const std::vector<double>& a, const std::vector<double>& b) {
+    XHEAL_EXPECTS(a.size() == b.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+    return 0.5 * sum;
+}
+
+std::optional<std::size_t> mixing_time(const Graph& g, NodeId source, double epsilon,
+                                       std::size_t max_steps) {
+    XHEAL_EXPECTS(g.has_node(source));
+    XHEAL_EXPECTS(epsilon > 0.0);
+    if (g.edge_count() == 0) return std::nullopt;
+    auto nodes = g.nodes_sorted();
+    auto pi = stationary_distribution(g);
+    std::vector<double> p(nodes.size(), 0.0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i] == source) p[i] = 1.0;
+    }
+    for (std::size_t t = 0; t <= max_steps; ++t) {
+        if (total_variation(p, pi) <= epsilon) return t;
+        p = lazy_walk_step(g, p);
+    }
+    return std::nullopt;
+}
+
+std::optional<std::size_t> mixing_time_worst(const Graph& g, double epsilon,
+                                             std::size_t max_steps) {
+    std::size_t worst = 0;
+    for (NodeId v : g.nodes_sorted()) {
+        auto t = mixing_time(g, v, epsilon, max_steps);
+        if (!t.has_value()) return std::nullopt;
+        worst = std::max(worst, *t);
+    }
+    return worst;
+}
+
+double spectral_mixing_bound(const Graph& g, double epsilon) {
+    double l2 = lambda2(g, LaplacianKind::normalized);
+    if (l2 <= 0.0) return std::numeric_limits<double>::infinity();
+    double n = static_cast<double>(g.node_count());
+    return (2.0 / l2) * std::log(n / epsilon);
+}
+
+}  // namespace xheal::spectral

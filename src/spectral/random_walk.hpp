@@ -1,0 +1,45 @@
+// Random-walk machinery: stationary distributions and mixing-time
+// estimates. The paper motivates the Cheeger constant / lambda2 through
+// mixing time (Preliminaries): an expander mixes in O(log n) steps, while
+// two cliques joined by one edge — same *edge expansion* — mix polynomially
+// slowly. bench_mixing reproduces that example quantitatively.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xheal::spectral {
+
+/// Stationary distribution of the lazy random walk: pi(v) = deg(v) / 2m,
+/// aligned with nodes_sorted(). Requires at least one edge.
+std::vector<double> stationary_distribution(const graph::Graph& g);
+
+/// One step of the lazy random walk (stay with probability 1/2, otherwise
+/// move to a uniform neighbor) applied to distribution `p` (aligned with
+/// nodes_sorted()).
+std::vector<double> lazy_walk_step(const graph::Graph& g, const std::vector<double>& p);
+
+/// Total variation distance between two distributions of equal length.
+double total_variation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Number of lazy-walk steps until the distribution started at `source`
+/// is within `epsilon` total-variation distance of stationary. Returns
+/// nullopt if not mixed within max_steps (e.g. disconnected graphs).
+std::optional<std::size_t> mixing_time(const graph::Graph& g, graph::NodeId source,
+                                       double epsilon = 0.25,
+                                       std::size_t max_steps = 100000);
+
+/// Worst mixing time over all start vertices (exact; O(n * T * m)).
+std::optional<std::size_t> mixing_time_worst(const graph::Graph& g,
+                                             double epsilon = 0.25,
+                                             std::size_t max_steps = 100000);
+
+/// The spectral mixing-time prediction for the lazy walk: ~ (2 / lambda2) *
+/// ln(n / epsilon) with lambda2 of the normalized Laplacian. Used as the
+/// reference curve in bench_mixing.
+double spectral_mixing_bound(const graph::Graph& g, double epsilon = 0.25);
+
+}  // namespace xheal::spectral

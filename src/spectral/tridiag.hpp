@@ -1,0 +1,25 @@
+// Symmetric tridiagonal eigensolver (implicit-shift QL, EISPACK tql2
+// lineage). Used to diagonalize the Lanczos T matrix.
+#pragma once
+
+#include <vector>
+
+namespace xheal::spectral {
+
+struct TridiagEigen {
+    /// Eigenvalues ascending.
+    std::vector<double> values;
+    /// vectors[k] is the (m-dimensional) eigenvector for values[k], expressed
+    /// in the basis the tridiagonal matrix was given in.
+    std::vector<std::vector<double>> vectors;
+};
+
+/// Eigen-decomposition of the symmetric tridiagonal matrix with diagonal
+/// `diag` (size m) and off-diagonal `off` (size m-1; off[i] couples i,i+1).
+/// Requires m >= 1.
+TridiagEigen tridiag_eigen(std::vector<double> diag, std::vector<double> off);
+
+/// Eigenvalues only (ascending).
+std::vector<double> tridiag_eigenvalues(std::vector<double> diag, std::vector<double> off);
+
+}  // namespace xheal::spectral

@@ -1,0 +1,40 @@
+// Lightweight contract checks (I.5/I.7 style pre/postconditions).
+//
+// Violations indicate programmer error, not recoverable runtime conditions,
+// so they throw xheal::util::ContractViolation carrying the failing
+// expression and location. Tests rely on the throw to probe preconditions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xheal::util {
+
+/// Thrown when an XHEAL_EXPECTS / XHEAL_ENSURES condition fails.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                            file + ":" + std::to_string(line));
+}
+
+}  // namespace xheal::util
+
+#define XHEAL_EXPECTS(cond)                                                      \
+    do {                                                                         \
+        if (!(cond)) ::xheal::util::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+    } while (false)
+
+#define XHEAL_ENSURES(cond)                                                      \
+    do {                                                                         \
+        if (!(cond)) ::xheal::util::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+    } while (false)
+
+#define XHEAL_ASSERT(cond)                                                       \
+    do {                                                                         \
+        if (!(cond)) ::xheal::util::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+    } while (false)

@@ -1,0 +1,59 @@
+// Initial-graph generators for tests, examples and benches. All generators
+// return graphs with node ids 0..n-1 and black edges only.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace xheal::workload {
+
+/// Path P_n: 0-1-...-(n-1). Requires n >= 1.
+graph::Graph make_path(std::size_t n);
+
+/// Cycle C_n. Requires n >= 3.
+graph::Graph make_cycle(std::size_t n);
+
+/// Star with a center (id 0) and `leaves` leaves. Requires leaves >= 1.
+graph::Graph make_star(std::size_t leaves);
+
+/// Complete graph K_n. Requires n >= 1.
+graph::Graph make_complete(std::size_t n);
+
+/// rows x cols grid. Requires rows, cols >= 1.
+graph::Graph make_grid(std::size_t rows, std::size_t cols);
+
+/// rows x cols torus (wrap-around grid). Requires rows, cols >= 3.
+graph::Graph make_torus(std::size_t rows, std::size_t cols);
+
+/// Hypercube Q_dim (2^dim nodes). Requires 1 <= dim <= 20.
+graph::Graph make_hypercube(std::size_t dim);
+
+/// Complete balanced binary tree with n nodes (heap layout). n >= 1.
+graph::Graph make_binary_tree(std::size_t n);
+
+/// Connected Erdos-Renyi G(n, p): resamples until connected (up to 200
+/// attempts, then throws). Requires n >= 2, 0 < p <= 1.
+graph::Graph make_erdos_renyi(std::size_t n, double p, util::Rng& rng);
+
+/// Random d-regular simple graph via the configuration model with
+/// edge-switching repair. Requires n*d even, d < n.
+graph::Graph make_random_regular(std::size_t n, std::size_t d, util::Rng& rng);
+
+/// Barabasi-Albert preferential attachment: seed clique of m+1 nodes, each
+/// new node attaches to m existing nodes by degree. Requires n > m >= 1.
+graph::Graph make_barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng);
+
+/// Two cliques of `clique` nodes joined by a single bridge edge — the
+/// canonical low-expansion graph. Requires clique >= 2.
+graph::Graph make_dumbbell(std::size_t clique);
+
+/// The Petersen graph (10 nodes, 3-regular, well-known spectrum).
+graph::Graph make_petersen();
+
+/// Projection of a random Law-Siu H-graph with d Hamilton cycles: a random
+/// 2d-regular(ish) expander. Requires n >= 3, d >= 1.
+graph::Graph make_hgraph_graph(std::size_t n, std::size_t d, util::Rng& rng);
+
+}  // namespace xheal::workload

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace xheal::graph;
+namespace wl = xheal::workload;
+
+TEST(Bfs, PathDistances) {
+    auto g = wl::make_path(6);
+    auto d = bfs_distances(g, 0);
+    for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d.at(v), v);
+}
+
+TEST(Bfs, GridDistanceIsManhattan) {
+    auto g = wl::make_grid(4, 5);
+    auto d = bfs_distances(g, 0);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            EXPECT_EQ(d.at(static_cast<NodeId>(r * 5 + c)), r + c);
+}
+
+TEST(Distance, DisconnectedIsNullopt) {
+    Graph g;
+    g.add_node();
+    g.add_node();
+    EXPECT_EQ(distance(g, 0, 1), std::nullopt);
+    EXPECT_EQ(distance(g, 0, 0), std::optional<std::size_t>{0});
+}
+
+TEST(Connectivity, DetectsComponents) {
+    Graph g;
+    for (int i = 0; i < 5; ++i) g.add_node();
+    g.add_black_edge(0, 1);
+    g.add_black_edge(2, 3);
+    EXPECT_FALSE(is_connected(g));
+    auto comps = connected_components(g);
+    ASSERT_EQ(comps.size(), 3u);
+    EXPECT_EQ(comps[0], (std::vector<NodeId>{0, 1}));
+    EXPECT_EQ(comps[1], (std::vector<NodeId>{2, 3}));
+    EXPECT_EQ(comps[2], (std::vector<NodeId>{4}));
+}
+
+TEST(Connectivity, EmptyAndSingletonAreConnected) {
+    Graph g;
+    EXPECT_TRUE(is_connected(g));
+    g.add_node();
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Diameter, KnownValues) {
+    EXPECT_EQ(diameter_exact(wl::make_path(7)), std::optional<std::size_t>{6});
+    EXPECT_EQ(diameter_exact(wl::make_cycle(8)), std::optional<std::size_t>{4});
+    EXPECT_EQ(diameter_exact(wl::make_complete(5)), std::optional<std::size_t>{1});
+    EXPECT_EQ(diameter_exact(wl::make_star(6)), std::optional<std::size_t>{2});
+    EXPECT_EQ(diameter_exact(wl::make_petersen()), std::optional<std::size_t>{2});
+}
+
+TEST(Diameter, DisconnectedIsNullopt) {
+    Graph g;
+    g.add_node();
+    g.add_node();
+    EXPECT_EQ(diameter_exact(g), std::nullopt);
+}
+
+TEST(Articulation, PathInternalNodesAreCuts) {
+    auto g = wl::make_path(5);
+    EXPECT_EQ(articulation_points(g), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(Articulation, CycleHasNone) {
+    EXPECT_TRUE(articulation_points(wl::make_cycle(6)).empty());
+}
+
+TEST(Articulation, StarCenterIsTheOnlyCut) {
+    auto g = wl::make_star(5);
+    EXPECT_EQ(articulation_points(g), (std::vector<NodeId>{0}));
+}
+
+TEST(Articulation, DumbbellBridgeEndpoints) {
+    auto g = wl::make_dumbbell(4);  // bridge between node 0 and node 4
+    EXPECT_EQ(articulation_points(g), (std::vector<NodeId>{0, 4}));
+}
+
+TEST(CutSize, CountsCrossingEdges) {
+    auto g = wl::make_cycle(6);
+    std::unordered_set<NodeId> s{0, 1, 2};
+    EXPECT_EQ(cut_size(g, s), 2u);
+    std::unordered_set<NodeId> alternating{0, 2, 4};
+    EXPECT_EQ(cut_size(g, alternating), 6u);
+}
+
+TEST(Stretch, IdenticalGraphsHaveStretchOne) {
+    auto g = wl::make_grid(3, 3);
+    EXPECT_DOUBLE_EQ(stretch_vs(g, g), 1.0);
+}
+
+TEST(Stretch, DetourMeasured) {
+    // ref: cycle C6; g: path (cycle with edge (0,5) removed). The pair
+    // (0,5) has ref distance 1 but g distance 5.
+    auto ref = wl::make_cycle(6);
+    auto g = wl::make_cycle(6);
+    g.remove_black_claim(0, 5);
+    EXPECT_DOUBLE_EQ(stretch_vs(g, ref), 5.0);
+}
+
+TEST(Stretch, DisconnectionIsInfinite) {
+    auto ref = wl::make_path(3);
+    Graph g = ref;
+    g.remove_black_claim(0, 1);
+    EXPECT_TRUE(std::isinf(stretch_vs(g, ref)));
+}
+
+TEST(Stretch, DeletedNodesExcludedAsEndpoints) {
+    // ref keeps node 1; g deleted it but bridged 0-2. Stretch counts only
+    // alive pairs: dist_g(0,2)=1 vs dist_ref(0,2)=2 -> ratio 0.5 -> max
+    // with remaining pairs stays finite (no infinite from deleted node 1).
+    auto ref = wl::make_path(3);
+    Graph g = ref;
+    g.remove_node(1);
+    g.add_black_edge(0, 2);
+    double s = stretch_vs(g, ref);
+    EXPECT_LE(s, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spectral/random_walk.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace xheal::spectral;
+using xheal::graph::Graph;
+namespace wl = xheal::workload;
+
+TEST(RandomWalk, StationaryDistributionIsDegreeProportional) {
+    auto g = wl::make_star(4);  // center degree 4, leaves degree 1; 2m = 8
+    auto pi = stationary_distribution(g);
+    EXPECT_DOUBLE_EQ(pi[0], 0.5);
+    for (std::size_t i = 1; i <= 4; ++i) EXPECT_DOUBLE_EQ(pi[i], 0.125);
+}
+
+TEST(RandomWalk, StationaryIsFixedPointOfLazyStep) {
+    auto g = wl::make_petersen();
+    auto pi = stationary_distribution(g);
+    auto next = lazy_walk_step(g, pi);
+    for (std::size_t i = 0; i < pi.size(); ++i) EXPECT_NEAR(next[i], pi[i], 1e-12);
+}
+
+TEST(RandomWalk, StepConservesMass) {
+    auto g = wl::make_grid(3, 3);
+    std::vector<double> p(9, 0.0);
+    p[0] = 1.0;
+    for (int t = 0; t < 5; ++t) {
+        p = lazy_walk_step(g, p);
+        double mass = 0.0;
+        for (double x : p) mass += x;
+        EXPECT_NEAR(mass, 1.0, 1e-12);
+    }
+}
+
+TEST(RandomWalk, TotalVariationBasics) {
+    EXPECT_DOUBLE_EQ(total_variation({0.5, 0.5}, {0.5, 0.5}), 0.0);
+    EXPECT_DOUBLE_EQ(total_variation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(total_variation({0.75, 0.25}, {0.25, 0.75}), 0.5);
+}
+
+TEST(RandomWalk, CompleteGraphMixesAlmostInstantly) {
+    auto g = wl::make_complete(16);
+    auto t = mixing_time(g, 0, 0.25);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_LE(*t, 3u);
+}
+
+TEST(RandomWalk, PathMixesSlowly) {
+    auto fast = mixing_time_worst(wl::make_complete(16), 0.25);
+    auto slow = mixing_time_worst(wl::make_path(16), 0.25);
+    ASSERT_TRUE(fast.has_value());
+    ASSERT_TRUE(slow.has_value());
+    EXPECT_GT(*slow, 4 * *fast);
+}
+
+TEST(RandomWalk, DisconnectedNeverMixes) {
+    Graph g;
+    for (int i = 0; i < 4; ++i) g.add_node();
+    g.add_black_edge(0, 1);
+    g.add_black_edge(2, 3);
+    EXPECT_EQ(mixing_time(g, 0, 0.1, 500), std::nullopt);
+}
+
+TEST(RandomWalk, PreliminariesExampleExpanderVsTwoCliques) {
+    // The paper's Preliminaries example: an expander mixes in O(log n)
+    // steps; two cliques joined by one edge (similar edge expansion,
+    // conductance O(1/n)) mix polynomially slowly.
+    xheal::util::Rng rng(5);
+    auto expander = wl::make_random_regular(16, 4, rng);
+    auto dumbbell = wl::make_dumbbell(8);  // also 16 nodes
+    auto t_exp = mixing_time_worst(expander, 0.25);
+    auto t_dumb = mixing_time_worst(dumbbell, 0.25);
+    ASSERT_TRUE(t_exp.has_value());
+    ASSERT_TRUE(t_dumb.has_value());
+    EXPECT_GT(*t_dumb, 5 * *t_exp);
+}
+
+TEST(RandomWalk, SpectralBoundPredictsMixingOrder) {
+    // Measured mixing time should be within a constant of the spectral
+    // prediction (2/lambda2) ln(n/eps) on well-behaved graphs.
+    for (auto make : {+[] { return wl::make_complete(12); },
+                      +[] { return wl::make_cycle(12); },
+                      +[] { return wl::make_petersen(); }}) {
+        auto g = make();
+        auto measured = mixing_time_worst(g, 0.25);
+        ASSERT_TRUE(measured.has_value());
+        double bound = spectral_mixing_bound(g, 0.25);
+        EXPECT_LE(static_cast<double>(*measured), 2.0 * bound + 2.0);
+    }
+}
+
+}  // namespace

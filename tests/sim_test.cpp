@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "util/expects.hpp"
+
+namespace {
+
+using namespace xheal::sim;
+using xheal::graph::NodeId;
+using xheal::util::ContractViolation;
+
+TEST(Network, MessagesDeliveredNextRound) {
+    Network net;
+    std::vector<int> received;
+    net.add_node(1, [&](const Message& m, Context&) { received.push_back(m.type); });
+    net.post(0, 1, 42);
+    EXPECT_TRUE(received.empty());  // not yet delivered
+    EXPECT_EQ(net.step(), 1u);
+    EXPECT_EQ(received, std::vector<int>{42});
+    EXPECT_EQ(net.rounds_executed(), 1u);
+    EXPECT_EQ(net.messages_sent(), 1u);
+}
+
+TEST(Network, StepOnIdleChargesNoRound) {
+    Network net;
+    net.add_node(1);
+    EXPECT_EQ(net.step(), 0u);
+    EXPECT_EQ(net.rounds_executed(), 0u);
+}
+
+TEST(Network, RepliesArriveOneRoundLater) {
+    Network net;
+    int pongs = 0;
+    net.add_node(1, [&](const Message& m, Context& ctx) {
+        if (m.type == 1) ctx.send(m.from, 2);  // ping -> pong
+    });
+    net.add_node(2, [&](const Message& m, Context&) {
+        if (m.type == 2) ++pongs;
+    });
+    net.post(2, 1, 1);
+    net.step();  // ping delivered, pong enqueued
+    EXPECT_EQ(pongs, 0);
+    net.step();
+    EXPECT_EQ(pongs, 1);
+    EXPECT_EQ(net.messages_sent(), 2u);
+    EXPECT_EQ(net.rounds_executed(), 2u);
+}
+
+TEST(Network, MessagesToRemovedNodesDropSilently) {
+    Network net;
+    net.add_node(1);
+    net.add_node(2);
+    net.post(1, 2, 7);
+    net.remove_node(2);
+    EXPECT_EQ(net.step(), 0u);  // dropped on delivery
+    EXPECT_EQ(net.messages_sent(), 1u);  // still counted as sent
+}
+
+TEST(Network, RunUntilQuiescent) {
+    // A relay chain: node i forwards to i+1.
+    Network net;
+    for (NodeId i = 0; i < 5; ++i) {
+        net.add_node(i, [](const Message& m, Context& ctx) {
+            if (ctx.self() < 4) ctx.send(ctx.self() + 1, m.type);
+        });
+    }
+    net.post(99, 0, 5);
+    std::size_t rounds = net.run();
+    EXPECT_EQ(rounds, 5u);  // 0->1->2->3->4 then quiescent
+    EXPECT_TRUE(net.idle());
+    EXPECT_EQ(net.messages_sent(), 5u);
+}
+
+TEST(Network, RunRespectsMaxRounds) {
+    // Two nodes bouncing forever.
+    Network net;
+    auto bounce = [](const Message& m, Context& ctx) { ctx.send(m.from, m.type); };
+    net.add_node(1, bounce);
+    net.add_node(2, bounce);
+    net.post(1, 2, 0);
+    std::size_t rounds = net.run(10);
+    EXPECT_EQ(rounds, 10u);
+    EXPECT_FALSE(net.idle());
+}
+
+TEST(Network, CountersResettable) {
+    Network net;
+    net.add_node(1);
+    net.post(0, 1, 1);
+    net.step();
+    net.reset_counters();
+    EXPECT_EQ(net.messages_sent(), 0u);
+    EXPECT_EQ(net.rounds_executed(), 0u);
+}
+
+TEST(Network, DuplicateNodeRejected) {
+    Network net;
+    net.add_node(1);
+    EXPECT_THROW(net.add_node(1), ContractViolation);
+    EXPECT_THROW(net.remove_node(5), ContractViolation);
+}
+
+TEST(Network, HandlerSwapTakesEffect) {
+    Network net;
+    int a = 0, b = 0;
+    net.add_node(1, [&](const Message&, Context&) { ++a; });
+    net.post(0, 1, 0);
+    net.step();
+    net.set_handler(1, [&](const Message&, Context&) { ++b; });
+    net.post(0, 1, 0);
+    net.step();
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 1);
+}
+
+TEST(Network, PayloadRoundTrips) {
+    Network net;
+    std::vector<std::uint64_t> got;
+    net.add_node(1, [&](const Message& m, Context&) { got = m.payload; });
+    net.post(0, 1, 3, {10, 20, 30});
+    net.step();
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(Network, BroadcastWaveCountsRoundsOnce) {
+    // One sender fans out to 10 receivers: 10 messages, 1 round.
+    Network net;
+    for (NodeId i = 0; i < 11; ++i) net.add_node(i);
+    for (NodeId i = 1; i < 11; ++i) net.post(0, i, 1);
+    net.step();
+    EXPECT_EQ(net.messages_sent(), 10u);
+    EXPECT_EQ(net.rounds_executed(), 1u);
+}
+
+}  // namespace

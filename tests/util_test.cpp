@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/expects.hpp"
+#include "util/fit.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace xheal::util;
+
+TEST(Expects, ThrowsContractViolationWithLocation) {
+    try {
+        XHEAL_EXPECTS(1 == 2);
+        FAIL() << "expected throw";
+    } catch (const ContractViolation& e) {
+        EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("util_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_u64(0, 1000), b.uniform_u64(0, 1000));
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.uniform_u64(0, 1'000'000) == b.uniform_u64(0, 1'000'000)) ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto x = rng.uniform_u64(3, 5);
+        EXPECT_GE(x, 3u);
+        EXPECT_LE(x, 5u);
+        saw_lo |= (x == 3);
+        saw_hi |= (x == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, IndexRequiresNonEmpty) {
+    Rng rng(1);
+    EXPECT_THROW(rng.index(0), ContractViolation);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(9);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SampleDistinct) {
+    Rng rng(11);
+    std::vector<int> v{1, 2, 3, 4, 5, 6};
+    auto s = rng.sample(v, 4);
+    EXPECT_EQ(s.size(), 4u);
+    std::sort(s.begin(), s.end());
+    EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+    Rng parent(42);
+    Rng child1 = parent.split();
+    Rng child2 = parent.split();
+    // Children derived at different points differ from each other.
+    bool differ = false;
+    for (int i = 0; i < 16 && !differ; ++i)
+        differ = child1.uniform_u64(0, 1u << 30) != child2.uniform_u64(0, 1u << 30);
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, ChanceBoundaries) {
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+    RunningStats s;
+    std::vector<double> xs{1.0, 2.5, -3.0, 4.0, 10.0};
+    for (double x : xs) s.add(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    EXPECT_NEAR(s.mean(), mean_of(xs), 1e-12);
+    EXPECT_NEAR(s.stddev(), stddev_of(xs), 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass) {
+    RunningStats a, b, all;
+    for (int i = 0; i < 10; ++i) {
+        a.add(i * 1.5);
+        all.add(i * 1.5);
+    }
+    for (int i = 10; i < 25; ++i) {
+        b.add(i * -0.5);
+        all.add(i * -0.5);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+    std::vector<double> v{10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+}
+
+TEST(Table, AlignsAndStoresCells) {
+    Table t({"name", "value"});
+    t.row().add("alpha").add(1.5, 2);
+    t.row().add("b").add(std::size_t{42});
+    EXPECT_EQ(t.row_count(), 2u);
+    EXPECT_EQ(t.cell(0, 1), "1.50");
+    EXPECT_EQ(t.cell(1, 1), "42");
+    std::ostringstream out;
+    t.print(out);
+    EXPECT_NE(out.str().find("alpha"), std::string::npos);
+    EXPECT_NE(out.str().find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+    Table t({"a", "b"});
+    t.row().add(1).add(2);
+    std::ostringstream out;
+    t.write_csv(out);
+    EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsExtraCells) {
+    Table t({"only"});
+    t.row().add("x");
+    EXPECT_THROW(t.add("y"), ContractViolation);
+}
+
+TEST(Fit, ExactLine) {
+    auto fit = fit_linear({1, 2, 3, 4}, {3, 5, 7, 9});
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Fit, LogGrowthDetected) {
+    // y = 3*log2(x) + 1 fits perfectly against log2(x).
+    std::vector<double> xs{2, 4, 8, 16, 32};
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(3.0 * std::log2(x) + 1.0);
+    auto fit = fit_vs_log2(xs, ys);
+    EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(Fit, LogLogExponent) {
+    // y = 5*x^2 has log-log slope 2.
+    std::vector<double> xs{1, 2, 4, 8};
+    std::vector<double> ys;
+    for (double x : xs) ys.push_back(5.0 * x * x);
+    auto fit = fit_loglog(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+}
+
+TEST(Fit, ConstantSeriesHasZeroLogLogSlope) {
+    auto fit = fit_loglog({1, 2, 4, 8}, {7, 7, 7, 7});
+    EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+}
+
+}  // namespace
