@@ -38,7 +38,7 @@ double churn_worst_ratio(std::unique_ptr<core::Healer> healer, graph::Graph init
             session.insert_node(inserter.pick_neighbors(session, rng));
         }
         const auto& g = session.current();
-        for (graph::NodeId v : g.nodes_sorted()) {
+        for (graph::NodeId v : g.nodes()) {
             std::size_t dref = session.reference().degree(v);
             max_deg = std::max(max_deg, g.degree(v));
             if (dref == 0) continue;

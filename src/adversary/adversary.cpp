@@ -20,7 +20,7 @@ NodeId MaxDegreeDeletion::pick(const HealingSession& session, util::Rng&) {
     const auto& g = session.current();
     NodeId best = graph::invalid_node;
     std::size_t best_degree = 0;
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         std::size_t d = g.degree(v);
         if (best == graph::invalid_node || d > best_degree) {
             best = v;
@@ -34,7 +34,7 @@ NodeId MinDegreeDeletion::pick(const HealingSession& session, util::Rng&) {
     const auto& g = session.current();
     NodeId best = graph::invalid_node;
     std::size_t best_degree = 0;
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         std::size_t d = g.degree(v);
         if (best == graph::invalid_node || d < best_degree) {
             best = v;
@@ -55,9 +55,9 @@ NodeId ColoredDegreeDeletion::pick(const HealingSession& session, util::Rng& rng
     const auto& g = session.current();
     NodeId best = graph::invalid_node;
     std::size_t best_colored = 0;
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         std::size_t colored = 0;
-        for (const auto& [u, claims] : g.adjacency(v)) {
+        for (const auto& [u, claims] : g.row(v)) {
             (void)u;
             if (claims.colored()) ++colored;
         }
@@ -78,7 +78,7 @@ NodeId BridgeHunterDeletion::pick(const HealingSession& session, util::Rng& rng)
     // a free node, steering the healer toward the combine path.
     NodeId best = graph::invalid_node;
     std::size_t best_score = 0;
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         if (registry_->is_free(v)) continue;
         std::size_t score = 1 + registry_->primary_clouds_of(v).size();
         if (best == graph::invalid_node || score > best_score) {
@@ -103,7 +103,9 @@ std::vector<NodeId> RandomAttach::pick_neighbors(const HealingSession& session,
 std::vector<NodeId> PreferentialAttach::pick_neighbors(const HealingSession& session,
                                                        util::Rng& rng) {
     const auto& g = session.current();
-    auto alive = g.nodes_sorted();
+    // Sampling pool: materialized once, then whittled down in place.
+    auto view = g.nodes();
+    std::vector<NodeId> alive(view.begin(), view.end());
     if (alive.empty()) return {};
     std::size_t k = std::min(k_, alive.size());
 

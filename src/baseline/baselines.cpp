@@ -15,7 +15,8 @@ namespace {
 /// Snapshot neighbors, remove the node, return the neighbor list.
 std::vector<NodeId> take_out(Graph& g, NodeId v) {
     XHEAL_EXPECTS(g.has_node(v));
-    auto nbrs = g.neighbors_sorted(v);
+    auto view = g.neighbors(v);
+    std::vector<NodeId> nbrs(view.begin(), view.end());
     g.remove_node(v);
     return nbrs;
 }

@@ -16,7 +16,7 @@ DistributedXheal::DistributedXheal(XhealConfig config) : inner_(config) {}
 
 void DistributedXheal::ensure_attached(const Graph& g) {
     if (attached_) return;
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         if (!net_.has_node(v)) net_.add_node(v);
     }
     attached_ = true;
@@ -33,7 +33,9 @@ void DistributedXheal::on_insert(Graph& g, NodeId v) {
 RepairReport DistributedXheal::on_delete(Graph& g, NodeId v) {
     ensure_attached(g);
     XHEAL_EXPECTS(g.has_node(v));
-    std::vector<NodeId> nbrs = g.neighbors_sorted(v);
+    // Snapshot: the repair below removes v, so the view must be copied.
+    auto nbr_view = g.neighbors(v);
+    std::vector<NodeId> nbrs(nbr_view.begin(), nbr_view.end());
 
     RepairReport report = inner_.on_delete(g, v);
     if (net_.has_node(v)) net_.remove_node(v);
@@ -75,7 +77,7 @@ void DistributedXheal::check_consistency(const Graph& g) const {
     inner_.check_consistency(g);
     // Every alive graph node must have a network actor once attached.
     if (attached_) {
-        for (NodeId v : g.nodes_sorted()) XHEAL_ASSERT(net_.has_node(v));
+        for (NodeId v : g.nodes()) XHEAL_ASSERT(net_.has_node(v));
     }
 }
 

@@ -10,8 +10,8 @@ using graph::NodeId;
 
 void check_graph_consistency(const Graph& g) {
     std::size_t directed_edges = 0;
-    for (NodeId u : g.nodes_sorted()) {
-        for (const auto& [v, claims] : g.adjacency(u)) {
+    for (NodeId u : g.nodes()) {
+        for (const auto& [v, claims] : g.row(u)) {
             XHEAL_ASSERT(u != v);
             XHEAL_ASSERT(g.has_node(v));
             XHEAL_ASSERT(!claims.empty());
@@ -37,7 +37,7 @@ void check_reference_edges_present(const Graph& g, const Graph& ref) {
 void check_connected(const Graph& g) { XHEAL_ASSERT(graph::is_connected(g)); }
 
 void check_degree_bound(const Graph& g, const Graph& ref, std::size_t kappa) {
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         XHEAL_ASSERT(ref.has_node(v));
         std::size_t ref_degree = ref.degree(v);
         std::size_t bound = kappa * ref_degree + 2 * kappa;

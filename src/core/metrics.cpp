@@ -14,7 +14,7 @@ DegreeIncrease degree_increase(const Graph& g, const Graph& ref) {
     DegreeIncrease out;
     double sum = 0.0;
     std::size_t counted = 0;
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         if (!ref.has_node(v)) continue;
         std::size_t dref = ref.degree(v);
         if (dref == 0) continue;  // isolated insertions have no meaningful ratio
@@ -32,7 +32,9 @@ DegreeIncrease degree_increase(const Graph& g, const Graph& ref) {
 
 double sampled_stretch(const Graph& g, const Graph& ref, std::size_t samples,
                        util::Rng& rng) {
-    auto alive = g.nodes_sorted();
+    // Sampling needs an indexable pool, so this one materializes.
+    auto view = g.nodes();
+    std::vector<NodeId> alive(view.begin(), view.end());
     if (alive.size() < 2) return 1.0;
     std::vector<NodeId> sources;
     if (samples >= alive.size()) {

@@ -50,7 +50,12 @@ public:
     /// Amortized messages per deletion (distributed healers; 0 otherwise).
     double amortized_messages() const;
 
-    std::vector<graph::NodeId> alive_nodes() const { return g_.nodes_sorted(); }
+    /// Materialized alive-node list for sampling (adversaries index into
+    /// it); traversals should use current().nodes() instead.
+    std::vector<graph::NodeId> alive_nodes() const {
+        auto view = g_.nodes();
+        return {view.begin(), view.end()};
+    }
 
 private:
     graph::Graph g_;

@@ -33,8 +33,8 @@ RepairReport XhealHealer::on_delete(Graph& g, NodeId v) {
         if (it != f->bridge_assoc.end()) assoc_of_v = it->second;
     }
     std::vector<NodeId> black_nbrs;
-    for (NodeId u : g.neighbors_sorted(v)) {
-        if (!g.claims(u, v).colored()) black_nbrs.push_back(u);
+    for (const auto& [u, claims] : g.row(v)) {
+        if (!claims.colored()) black_nbrs.push_back(u);
     }
 
     // ---- the adversary's deletion takes effect ----

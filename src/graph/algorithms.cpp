@@ -17,7 +17,7 @@ std::unordered_map<NodeId, std::size_t> bfs_distances(const Graph& g, NodeId src
         NodeId u = queue.front();
         queue.pop_front();
         std::size_t du = dist.at(u);
-        for (const auto& [v, _] : g.adjacency(u)) {
+        for (NodeId v : g.neighbors(u)) {
             if (dist.emplace(v, du + 1).second) queue.push_back(v);
         }
     }
@@ -36,14 +36,14 @@ std::optional<std::size_t> distance(const Graph& g, NodeId u, NodeId v) {
 
 bool is_connected(const Graph& g) {
     if (g.node_count() <= 1) return true;
-    NodeId start = g.nodes_sorted().front();
+    NodeId start = g.nodes().front();
     return bfs_distances(g, start).size() == g.node_count();
 }
 
 std::vector<std::vector<NodeId>> connected_components(const Graph& g) {
     std::vector<std::vector<NodeId>> comps;
     std::unordered_set<NodeId> seen;
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         if (seen.contains(v)) continue;
         auto dist = bfs_distances(g, v);
         std::vector<NodeId> comp;
@@ -61,7 +61,7 @@ std::vector<std::vector<NodeId>> connected_components(const Graph& g) {
 std::optional<std::size_t> diameter_exact(const Graph& g) {
     if (g.node_count() == 0) return std::nullopt;
     std::size_t diameter = 0;
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         auto dist = bfs_distances(g, v);
         if (dist.size() != g.node_count()) return std::nullopt;
         for (const auto& [_, d] : dist) diameter = std::max(diameter, d);
@@ -85,12 +85,12 @@ struct ArticulationState {
         struct Frame {
             NodeId node;
             NodeId parent;
-            std::vector<NodeId> nbrs;
+            Graph::NeighborsView nbrs;  // view into the row; rows are stable here
             std::size_t next = 0;
             std::size_t child_count = 0;
         };
         std::vector<Frame> stack;
-        stack.push_back({root, invalid_node, g.neighbors_sorted(root), 0, 0});
+        stack.push_back({root, invalid_node, g.neighbors(root), 0, 0});
         disc[root] = low[root] = timer++;
         while (!stack.empty()) {
             Frame& f = stack.back();
@@ -104,7 +104,7 @@ struct ArticulationState {
                 }
                 ++f.child_count;
                 disc[w] = low[w] = timer++;
-                stack.push_back({w, f.node, g.neighbors_sorted(w), 0, 0});
+                stack.push_back({w, f.node, g.neighbors(w), 0, 0});
             } else {
                 NodeId done = f.node;
                 NodeId parent = f.parent;
@@ -131,7 +131,7 @@ struct ArticulationState {
 
 std::vector<NodeId> articulation_points(const Graph& g) {
     ArticulationState state(g);
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         if (!state.disc.contains(v)) state.run(v);
     }
     std::vector<NodeId> out(state.cut.begin(), state.cut.end());
@@ -143,7 +143,7 @@ std::size_t cut_size(const Graph& g, const std::unordered_set<NodeId>& s) {
     std::size_t crossing = 0;
     for (NodeId u : s) {
         XHEAL_EXPECTS(g.has_node(u));
-        for (const auto& [v, _] : g.adjacency(u)) {
+        for (NodeId v : g.neighbors(u)) {
             if (!s.contains(v)) ++crossing;
         }
     }
@@ -151,7 +151,11 @@ std::size_t cut_size(const Graph& g, const std::unordered_set<NodeId>& s) {
 }
 
 double stretch_vs(const Graph& g, const Graph& ref, const std::vector<NodeId>& sources) {
-    std::vector<NodeId> srcs = sources.empty() ? g.nodes_sorted() : sources;
+    std::vector<NodeId> srcs = sources;
+    if (srcs.empty()) {
+        auto view = g.nodes();
+        srcs.assign(view.begin(), view.end());
+    }
     double worst = 0.0;
     for (NodeId s : srcs) {
         if (!g.has_node(s) || !ref.has_node(s)) continue;

@@ -2,161 +2,217 @@
 
 namespace xheal::graph {
 
+void Graph::reserve_slots(NodeId n) {
+    if (slots_.size() < n) slots_.resize(n);
+}
+
 NodeId Graph::add_node() {
     NodeId v = next_id_++;
-    adjacency_.emplace(v, std::unordered_map<NodeId, EdgeClaims>{});
+    reserve_slots(next_id_);
+    slots_[v].state = SlotState::alive;
+    ++live_nodes_;
+    degree_changed(SIZE_MAX, 0);
     return v;
 }
 
 void Graph::add_node_with_id(NodeId v) {
     XHEAL_EXPECTS(v != invalid_node);
     XHEAL_EXPECTS(!has_node(v));
-    adjacency_.emplace(v, std::unordered_map<NodeId, EdgeClaims>{});
-    if (v >= next_id_) next_id_ = v + 1;
+    // Ids are never reused: a tombstoned slot cannot come back to life.
+    XHEAL_EXPECTS(v >= slots_.size() || slots_[v].state == SlotState::empty);
+    if (v >= next_id_) {
+        next_id_ = v + 1;
+        reserve_slots(next_id_);
+    }
+    slots_[v].state = SlotState::alive;
+    ++live_nodes_;
+    degree_changed(SIZE_MAX, 0);
 }
 
 void Graph::remove_node(NodeId v) {
     XHEAL_EXPECTS(has_node(v));
-    auto& row = adjacency_.at(v);
-    std::vector<NodeId> nbrs;
-    nbrs.reserve(row.size());
-    for (const auto& [u, _] : row) nbrs.push_back(u);
-    for (NodeId u : nbrs) {
-        adjacency_.at(u).erase(v);
+    Slot& slot = slots_[v];
+    for (const NeighborEntry& e : slot.row) {
+        std::vector<NeighborEntry>& other = slots_[e.first].row;
+        auto pos = row_lower_bound(other, v);
+        XHEAL_ASSERT(pos != other.end() && pos->first == v);
+        other.erase(pos);
+        degree_changed(other.size() + 1, other.size());
         --edge_count_;
     }
-    adjacency_.erase(v);
+    degree_changed(slot.row.size(), SIZE_MAX);
+    --live_nodes_;
+    slot.state = SlotState::dead;
+    // The tombstone never hosts edges again; release the row's memory.
+    std::vector<NeighborEntry>().swap(slot.row);
 }
 
 std::vector<NodeId> Graph::nodes_sorted() const {
-    std::vector<NodeId> out;
-    out.reserve(adjacency_.size());
-    for (const auto& [v, _] : adjacency_) out.push_back(v);
-    std::sort(out.begin(), out.end());
-    return out;
+    auto view = nodes();
+    return std::vector<NodeId>(view.begin(), view.end());
 }
 
-EdgeClaims& Graph::mutable_claims(NodeId u, NodeId v) {
+std::vector<NodeId> Graph::neighbors_sorted(NodeId v) const {
+    auto view = neighbors(v);
+    return std::vector<NodeId>(view.begin(), view.end());
+}
+
+std::vector<NeighborEntry>::iterator Graph::row_lower_bound(
+    std::vector<NeighborEntry>& row, NodeId v) {
+    return std::lower_bound(row.begin(), row.end(), v,
+                            [](const NeighborEntry& e, NodeId id) { return e.first < id; });
+}
+
+std::vector<NeighborEntry>::const_iterator Graph::row_lower_bound(
+    const std::vector<NeighborEntry>& row, NodeId v) {
+    return std::lower_bound(row.begin(), row.end(), v,
+                            [](const NeighborEntry& e, NodeId id) { return e.first < id; });
+}
+
+const EdgeClaims* Graph::find_claims(NodeId u, NodeId v) const {
+    if (!has_node(u) || !has_node(v)) return nullptr;
+    const std::vector<NeighborEntry>& row = slots_[u].row;
+    auto pos = row_lower_bound(row, v);
+    if (pos == row.end() || pos->first != v) return nullptr;
+    return &pos->second;
+}
+
+std::pair<EdgeClaims*, EdgeClaims*> Graph::find_edge(NodeId u, NodeId v) {
+    if (!has_node(u) || !has_node(v)) return {nullptr, nullptr};
+    std::vector<NeighborEntry>& ru = slots_[u].row;
+    auto pu = row_lower_bound(ru, v);
+    if (pu == ru.end() || pu->first != v) return {nullptr, nullptr};
+    std::vector<NeighborEntry>& rv = slots_[v].row;
+    auto pv = row_lower_bound(rv, u);
+    XHEAL_ASSERT(pv != rv.end() && pv->first == u);
+    return {&pu->second, &pv->second};
+}
+
+std::pair<EdgeClaims*, EdgeClaims*> Graph::ensure_edge(NodeId u, NodeId v) {
     XHEAL_EXPECTS(u != v);
     XHEAL_EXPECTS(has_node(u));
     XHEAL_EXPECTS(has_node(v));
-    auto& row = adjacency_.at(u);
-    auto it = row.find(v);
-    if (it == row.end()) {
+    std::vector<NeighborEntry>& ru = slots_[u].row;
+    auto pu = row_lower_bound(ru, v);
+    if (pu == ru.end() || pu->first != v) {
         // Create the edge in both rows; they share logical state so every
-        // mutation below is mirrored explicitly by callers.
-        row.emplace(v, EdgeClaims{});
-        adjacency_.at(v).emplace(u, EdgeClaims{});
+        // mutation is mirrored explicitly by the callers.
+        pu = ru.emplace(pu, v, EdgeClaims{});
+        degree_changed(ru.size() - 1, ru.size());
+        std::vector<NeighborEntry>& rv = slots_[v].row;
+        auto pv = row_lower_bound(rv, u);
+        pv = rv.emplace(pv, u, EdgeClaims{});
+        degree_changed(rv.size() - 1, rv.size());
         ++edge_count_;
-        return row.at(v);
+        return {&pu->second, &pv->second};
     }
-    return it->second;
+    std::vector<NeighborEntry>& rv = slots_[v].row;
+    auto pv = row_lower_bound(rv, u);
+    XHEAL_ASSERT(pv != rv.end() && pv->first == u);
+    return {&pu->second, &pv->second};
 }
 
 void Graph::add_black_edge(NodeId u, NodeId v) {
-    EdgeClaims& c = mutable_claims(u, v);
-    if (c.black) return;
-    c.black = true;
-    adjacency_.at(v).at(u).black = true;
+    auto [cu, cv] = ensure_edge(u, v);
+    if (cu->black) return;
+    cu->black = true;
+    cv->black = true;
 }
 
 void Graph::add_color_claim(NodeId u, NodeId v, ColorId color) {
     XHEAL_EXPECTS(color != invalid_color);
-    EdgeClaims& c = mutable_claims(u, v);
-    auto pos = std::lower_bound(c.colors.begin(), c.colors.end(), color);
-    if (pos != c.colors.end() && *pos == color) return;
-    c.colors.insert(pos, color);
-    auto& mirror = adjacency_.at(v).at(u);
-    auto mpos = std::lower_bound(mirror.colors.begin(), mirror.colors.end(), color);
-    mirror.colors.insert(mpos, color);
+    auto [cu, cv] = ensure_edge(u, v);
+    auto pos = std::lower_bound(cu->colors.begin(), cu->colors.end(), color);
+    if (pos != cu->colors.end() && *pos == color) return;
+    cu->colors.insert(pos, color);
+    auto mpos = std::lower_bound(cv->colors.begin(), cv->colors.end(), color);
+    cv->colors.insert(mpos, color);
 }
 
 void Graph::erase_edge(NodeId u, NodeId v) {
-    adjacency_.at(u).erase(v);
-    adjacency_.at(v).erase(u);
+    std::vector<NeighborEntry>& ru = slots_[u].row;
+    auto pu = row_lower_bound(ru, v);
+    XHEAL_ASSERT(pu != ru.end() && pu->first == v);
+    ru.erase(pu);
+    degree_changed(ru.size() + 1, ru.size());
+    std::vector<NeighborEntry>& rv = slots_[v].row;
+    auto pv = row_lower_bound(rv, u);
+    XHEAL_ASSERT(pv != rv.end() && pv->first == u);
+    rv.erase(pv);
+    degree_changed(rv.size() + 1, rv.size());
     --edge_count_;
 }
 
 bool Graph::remove_color_claim(NodeId u, NodeId v, ColorId color) {
-    if (!has_edge(u, v)) return false;
-    auto& c = adjacency_.at(u).at(v);
-    auto pos = std::lower_bound(c.colors.begin(), c.colors.end(), color);
-    if (pos == c.colors.end() || *pos != color) return false;
-    c.colors.erase(pos);
-    auto& mirror = adjacency_.at(v).at(u);
-    auto mpos = std::lower_bound(mirror.colors.begin(), mirror.colors.end(), color);
-    mirror.colors.erase(mpos);
-    if (c.empty()) erase_edge(u, v);
+    auto [cu, cv] = find_edge(u, v);
+    if (cu == nullptr) return false;
+    auto pos = std::lower_bound(cu->colors.begin(), cu->colors.end(), color);
+    if (pos == cu->colors.end() || *pos != color) return false;
+    cu->colors.erase(pos);
+    auto mpos = std::lower_bound(cv->colors.begin(), cv->colors.end(), color);
+    cv->colors.erase(mpos);
+    if (cu->empty()) erase_edge(u, v);
     return true;
 }
 
 bool Graph::remove_black_claim(NodeId u, NodeId v) {
-    if (!has_edge(u, v)) return false;
-    auto& c = adjacency_.at(u).at(v);
-    if (!c.black) return false;
-    c.black = false;
-    adjacency_.at(v).at(u).black = false;
-    if (c.empty()) erase_edge(u, v);
+    auto [cu, cv] = find_edge(u, v);
+    if (cu == nullptr) return false;
+    if (!cu->black) return false;
+    cu->black = false;
+    cv->black = false;
+    if (cu->empty()) erase_edge(u, v);
     return true;
 }
 
-bool Graph::has_edge(NodeId u, NodeId v) const {
-    auto it = adjacency_.find(u);
-    if (it == adjacency_.end()) return false;
-    return it->second.contains(v);
-}
+bool Graph::has_edge(NodeId u, NodeId v) const { return find_claims(u, v) != nullptr; }
 
 bool Graph::has_black_claim(NodeId u, NodeId v) const {
-    if (!has_edge(u, v)) return false;
-    return adjacency_.at(u).at(v).black;
+    const EdgeClaims* c = find_claims(u, v);
+    return c != nullptr && c->black;
 }
 
-bool Graph::has_color_claim(NodeId u, NodeId v, ColorId c) const {
-    if (!has_edge(u, v)) return false;
-    return adjacency_.at(u).at(v).has_color(c);
+bool Graph::has_color_claim(NodeId u, NodeId v, ColorId color) const {
+    const EdgeClaims* c = find_claims(u, v);
+    return c != nullptr && c->has_color(color);
 }
 
 bool Graph::is_colored_edge(NodeId u, NodeId v) const {
-    if (!has_edge(u, v)) return false;
-    return adjacency_.at(u).at(v).colored();
+    const EdgeClaims* c = find_claims(u, v);
+    return c != nullptr && c->colored();
 }
 
 const EdgeClaims& Graph::claims(NodeId u, NodeId v) const {
-    XHEAL_EXPECTS(has_edge(u, v));
-    return adjacency_.at(u).at(v);
+    const EdgeClaims* c = find_claims(u, v);
+    XHEAL_EXPECTS(c != nullptr);
+    return *c;
 }
 
-std::size_t Graph::degree(NodeId v) const {
-    XHEAL_EXPECTS(has_node(v));
-    return adjacency_.at(v).size();
-}
-
-std::vector<NodeId> Graph::neighbors_sorted(NodeId v) const {
-    XHEAL_EXPECTS(has_node(v));
-    std::vector<NodeId> out;
-    const auto& row = adjacency_.at(v);
-    out.reserve(row.size());
-    for (const auto& [u, _] : row) out.push_back(u);
-    std::sort(out.begin(), out.end());
-    return out;
-}
-
-const std::unordered_map<NodeId, EdgeClaims>& Graph::adjacency(NodeId v) const {
-    XHEAL_EXPECTS(has_node(v));
-    return adjacency_.at(v);
+void Graph::degree_changed(std::size_t old_degree, std::size_t new_degree) {
+    // SIZE_MAX marks "no bucket": node birth (old) or death (new).
+    if (old_degree != SIZE_MAX) {
+        XHEAL_ASSERT(old_degree < degree_hist_.size() && degree_hist_[old_degree] > 0);
+        --degree_hist_[old_degree];
+    }
+    if (new_degree != SIZE_MAX) {
+        if (new_degree >= degree_hist_.size()) degree_hist_.resize(new_degree + 1, 0);
+        ++degree_hist_[new_degree];
+        if (new_degree > max_hint_) max_hint_ = new_degree;
+        if (new_degree < min_hint_) min_hint_ = new_degree;
+    }
 }
 
 std::size_t Graph::max_degree() const {
-    std::size_t best = 0;
-    for (const auto& [v, row] : adjacency_) best = std::max(best, row.size());
-    return best;
+    if (live_nodes_ == 0) return 0;
+    while (max_hint_ > 0 && degree_hist_[max_hint_] == 0) --max_hint_;
+    return max_hint_;
 }
 
 std::size_t Graph::min_degree() const {
-    if (adjacency_.empty()) return 0;
-    std::size_t best = SIZE_MAX;
-    for (const auto& [v, row] : adjacency_) best = std::min(best, row.size());
-    return best;
+    if (live_nodes_ == 0) return 0;
+    while (min_hint_ < degree_hist_.size() && degree_hist_[min_hint_] == 0) ++min_hint_;
+    XHEAL_ASSERT(min_hint_ < degree_hist_.size());
+    return min_hint_;
 }
 
 }  // namespace xheal::graph

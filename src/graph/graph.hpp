@@ -12,13 +12,23 @@
 // instead of deleting it, so every G' edge between two surviving nodes is
 // always present in the healed graph (DESIGN.md decision 1).
 //
-// Node ids are allocated monotonically and never reused, so the healed graph
-// G_t and the insert-only reference graph G'_t share one id space.
+// Storage is a slot-indexed flat adjacency (DESIGN.md decision 2): node ids
+// are allocated monotonically and never reused, so a dense vector of slots
+// indexed directly by NodeId is append-only; deletion flips a tombstone bit.
+// Each live slot holds its adjacency row as a vector sorted by neighbor id,
+// which makes every traversal a linear scan over contiguous memory and makes
+// deterministic (ascending) iteration free. Traversal goes through the
+// allocation-free NodesView / NeighborsView ranges; the legacy
+// nodes_sorted() / neighbors_sorted() shims materialize vectors and remain
+// only for tests and sampling call sites that need an indexable copy.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
-#include <unordered_map>
+#include <cstdint>
+#include <iterator>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/types.hpp"
@@ -38,9 +48,172 @@ struct EdgeClaims {
     bool colored() const { return !colors.empty(); }
 };
 
+/// One adjacency-row entry: neighbor id plus the claims of that edge.
+using NeighborEntry = std::pair<NodeId, EdgeClaims>;
+
 class Graph {
+    /// empty: id not yet handed out (gap from add_node_with_id);
+    /// alive: live node; dead: tombstone — the id is retired forever.
+    enum class SlotState : std::uint8_t { empty, alive, dead };
+
+    struct Slot {
+        std::vector<NeighborEntry> row;  // sorted by neighbor id
+        SlotState state = SlotState::empty;
+    };
+
 public:
     Graph() = default;
+
+    // ----- allocation-free traversal views -----
+
+    /// Forward range over the live node ids in ascending order. Iteration
+    /// walks the slot vector and skips tombstones; no allocation.
+    class NodesView {
+    public:
+        class iterator {
+        public:
+            using value_type = NodeId;
+            using difference_type = std::ptrdiff_t;
+            using iterator_category = std::forward_iterator_tag;
+            using pointer = const NodeId*;
+            using reference = NodeId;
+
+            iterator() = default;
+            iterator(const Slot* slots, NodeId id, NodeId end)
+                : slots_(slots), id_(id), end_(end) {
+                skip_dead();
+            }
+
+            NodeId operator*() const { return id_; }
+            iterator& operator++() {
+                ++id_;
+                skip_dead();
+                return *this;
+            }
+            iterator operator++(int) {
+                iterator copy = *this;
+                ++*this;
+                return copy;
+            }
+            bool operator==(const iterator& other) const { return id_ == other.id_; }
+            bool operator!=(const iterator& other) const { return id_ != other.id_; }
+
+        private:
+            void skip_dead() {
+                while (id_ < end_ && slots_[id_].state != SlotState::alive) ++id_;
+            }
+
+            const Slot* slots_ = nullptr;
+            NodeId id_ = 0;
+            NodeId end_ = 0;
+        };
+
+        iterator begin() const { return {slots_, 0, end_}; }
+        iterator end() const { return {slots_, end_, end_}; }
+        std::size_t size() const { return live_; }
+        bool empty() const { return live_ == 0; }
+        /// Smallest live node id. Requires a non-empty graph.
+        NodeId front() const {
+            XHEAL_EXPECTS(live_ > 0);
+            return *begin();
+        }
+
+    private:
+        friend class Graph;
+        NodesView(const Slot* slots, NodeId end, std::size_t live)
+            : slots_(slots), end_(end), live_(live) {}
+
+        const Slot* slots_;
+        NodeId end_;
+        std::size_t live_;
+    };
+
+    /// Random-access range over the neighbor ids of one node, ascending.
+    /// A projection of the sorted adjacency row; no allocation.
+    class NeighborsView {
+    public:
+        class iterator {
+        public:
+            using value_type = NodeId;
+            using difference_type = std::ptrdiff_t;
+            using iterator_category = std::random_access_iterator_tag;
+            using pointer = const NodeId*;
+            using reference = NodeId;
+
+            iterator() = default;
+            explicit iterator(const NeighborEntry* p) : p_(p) {}
+
+            NodeId operator*() const { return p_->first; }
+            NodeId operator[](difference_type d) const { return p_[d].first; }
+            iterator& operator++() {
+                ++p_;
+                return *this;
+            }
+            iterator operator++(int) {
+                iterator copy = *this;
+                ++p_;
+                return copy;
+            }
+            iterator& operator--() {
+                --p_;
+                return *this;
+            }
+            iterator operator--(int) {
+                iterator copy = *this;
+                --p_;
+                return copy;
+            }
+            iterator& operator+=(difference_type d) {
+                p_ += d;
+                return *this;
+            }
+            iterator& operator-=(difference_type d) {
+                p_ -= d;
+                return *this;
+            }
+            iterator operator+(difference_type d) const { return iterator(p_ + d); }
+            friend iterator operator+(difference_type d, const iterator& it) {
+                return iterator(it.p_ + d);
+            }
+            iterator operator-(difference_type d) const { return iterator(p_ - d); }
+            difference_type operator-(const iterator& other) const { return p_ - other.p_; }
+            bool operator==(const iterator& other) const = default;
+            auto operator<=>(const iterator& other) const = default;
+
+        private:
+            const NeighborEntry* p_ = nullptr;
+        };
+
+        iterator begin() const { return iterator(row_.data()); }
+        iterator end() const { return iterator(row_.data() + row_.size()); }
+        std::size_t size() const { return row_.size(); }
+        bool empty() const { return row_.empty(); }
+        NodeId operator[](std::size_t i) const { return row_[i].first; }
+        NodeId front() const { return row_.front().first; }
+        NodeId back() const { return row_.back().first; }
+
+    private:
+        friend class Graph;
+        explicit NeighborsView(std::span<const NeighborEntry> row) : row_(row) {}
+
+        std::span<const NeighborEntry> row_;
+    };
+
+    /// Live node ids, ascending. O(1), allocation-free.
+    NodesView nodes() const {
+        return NodesView(slots_.data(), next_id_, live_nodes_);
+    }
+
+    /// Neighbor ids of v, ascending. O(1), allocation-free. Requires
+    /// presence.
+    NeighborsView neighbors(NodeId v) const { return NeighborsView(row(v)); }
+
+    /// The sorted adjacency row of v as (neighbor, claims) entries.
+    /// O(1), allocation-free. Requires presence.
+    std::span<const NeighborEntry> row(NodeId v) const {
+        XHEAL_EXPECTS(has_node(v));
+        return slots_[v].row;
+    }
 
     // ----- nodes -----
 
@@ -48,16 +221,22 @@ public:
     NodeId add_node();
 
     /// Insert a node with a caller-chosen id (used to mirror ids between G
-    /// and G'). The id must not be present.
+    /// and G'). The id must not be present and must not have been retired:
+    /// ids are never reused, so a tombstoned slot stays dead forever.
     void add_node_with_id(NodeId v);
 
     /// Remove a node and all incident edges (all claims). Requires presence.
+    /// The slot becomes a tombstone; the id is never handed out again.
     void remove_node(NodeId v);
 
-    bool has_node(NodeId v) const { return adjacency_.contains(v); }
-    std::size_t node_count() const { return adjacency_.size(); }
+    bool has_node(NodeId v) const {
+        return v < slots_.size() && slots_[v].state == SlotState::alive;
+    }
+    std::size_t node_count() const { return live_nodes_; }
 
-    /// All node ids in ascending order (deterministic iteration).
+    /// All node ids in ascending order. Deprecated materializing shim —
+    /// kept for tests and for call sites that need an indexable sample
+    /// pool; traversals should use nodes().
     std::vector<NodeId> nodes_sorted() const;
 
     // ----- edges / claims -----
@@ -87,22 +266,30 @@ public:
     /// Claims of an existing edge. Requires has_edge(u, v).
     const EdgeClaims& claims(NodeId u, NodeId v) const;
 
-    std::size_t degree(NodeId v) const;
+    std::size_t degree(NodeId v) const {
+        XHEAL_EXPECTS(has_node(v));
+        return slots_[v].row.size();
+    }
     std::size_t edge_count() const { return edge_count_; }
 
-    /// Neighbors of v in ascending id order (deterministic iteration).
+    /// Neighbors of v in ascending id order. Deprecated materializing shim —
+    /// kept for tests and snapshot call sites; traversals should use
+    /// neighbors() or row().
     std::vector<NodeId> neighbors_sorted(NodeId v) const;
 
-    /// Raw adjacency row of v (unordered). Requires presence.
-    const std::unordered_map<NodeId, EdgeClaims>& adjacency(NodeId v) const;
+    /// Deprecated alias of row(v); the old hash-of-hashes accessor. The
+    /// entries are (neighbor, claims) pairs, now in ascending neighbor
+    /// order.
+    std::span<const NeighborEntry> adjacency(NodeId v) const { return row(v); }
 
     /// Visit every edge once as (u, v, claims) with u < v, in ascending
-    /// (u, v) order.
+    /// (u, v) order. Walks the rows directly; no allocation.
     template <typename F>
     void for_each_edge(F&& f) const {
-        for (NodeId u : nodes_sorted()) {
-            for (NodeId v : neighbors_sorted(u)) {
-                if (u < v) f(u, v, claims(u, v));
+        for (NodeId u = 0; u < next_id_; ++u) {
+            if (slots_[u].state != SlotState::alive) continue;
+            for (const NeighborEntry& e : slots_[u].row) {
+                if (e.first > u) f(u, e.first, e.second);
             }
         }
     }
@@ -115,6 +302,8 @@ public:
         return vol;
     }
 
+    /// Largest / smallest degree over live nodes, maintained incrementally
+    /// through a degree histogram: amortized O(1), never a full scan.
     std::size_t max_degree() const;
     std::size_t min_degree() const;
 
@@ -122,12 +311,42 @@ public:
     NodeId next_id() const { return next_id_; }
 
 private:
-    EdgeClaims& mutable_claims(NodeId u, NodeId v);
+    /// Grow the slot vector so ids [0, n) are addressable.
+    void reserve_slots(NodeId n);
+
+    /// lower_bound position of v in a sorted row.
+    static std::vector<NeighborEntry>::iterator row_lower_bound(
+        std::vector<NeighborEntry>& row, NodeId v);
+    static std::vector<NeighborEntry>::const_iterator row_lower_bound(
+        const std::vector<NeighborEntry>& row, NodeId v);
+
+    /// Entry of v in u's row, or nullptr if the edge is absent.
+    const EdgeClaims* find_claims(NodeId u, NodeId v) const;
+
+    /// Claims of an existing edge seen from both sides; {nullptr, nullptr}
+    /// if absent. Never creates the edge — the removal paths rely on that.
+    std::pair<EdgeClaims*, EdgeClaims*> find_edge(NodeId u, NodeId v);
+
+    /// Claims of (u, v) seen from both sides, creating the edge if absent.
+    /// The two pointers stay valid together (distinct row vectors).
+    std::pair<EdgeClaims*, EdgeClaims*> ensure_edge(NodeId u, NodeId v);
+
+    /// Erase an existing edge from both rows and the degree histogram.
     void erase_edge(NodeId u, NodeId v);
 
-    std::unordered_map<NodeId, std::unordered_map<NodeId, EdgeClaims>> adjacency_;
+    // Degree-histogram bookkeeping. `max_hint_` is always >= the true max
+    // and `min_hint_` always <= the true min; queries walk the hint to the
+    // first non-empty bucket, which is amortized against the mutations that
+    // moved it.
+    void degree_changed(std::size_t old_degree, std::size_t new_degree);
+
+    std::vector<Slot> slots_;
+    std::vector<std::size_t> degree_hist_;  // degree_hist_[d] = live nodes of degree d
+    std::size_t live_nodes_ = 0;
     std::size_t edge_count_ = 0;
     NodeId next_id_ = 0;
+    mutable std::size_t max_hint_ = 0;
+    mutable std::size_t min_hint_ = 0;
 };
 
 }  // namespace xheal::graph

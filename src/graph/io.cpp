@@ -19,7 +19,7 @@ const char* palette_color(ColorId c) {
 void write_dot(std::ostream& out, const Graph& g, const char* name) {
     out << "graph " << name << " {\n";
     out << "  node [shape=circle];\n";
-    for (NodeId v : g.nodes_sorted()) out << "  n" << v << ";\n";
+    for (NodeId v : g.nodes()) out << "  n" << v << ";\n";
     g.for_each_edge([&](NodeId u, NodeId v, const EdgeClaims& claims) {
         out << "  n" << u << " -- n" << v;
         if (claims.colored()) {

@@ -10,6 +10,7 @@
 
 #include "graph/algorithms.hpp"
 #include "spectral/laplacian.hpp"
+#include "spectral/node_index.hpp"
 
 namespace xheal::spectral {
 
@@ -23,17 +24,16 @@ namespace {
 /// incrementally. Calls visit(cut, size_s, vol_s) for every subset.
 template <typename Visitor>
 void enumerate_cuts(const Graph& g, Visitor&& visit) {
-    auto nodes = g.nodes_sorted();
-    std::size_t n = nodes.size();
+    std::size_t n = g.node_count();
     XHEAL_EXPECTS(n <= exact_expansion_limit);
-    std::unordered_map<NodeId, std::size_t> index;
-    for (std::size_t i = 0; i < n; ++i) index.emplace(nodes[i], i);
+    NodeIndex index(g);
+    const auto& nodes = index.nodes;
 
     std::vector<std::uint32_t> adj_mask(n, 0);
     std::vector<std::size_t> deg(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
-        for (const auto& [v, _] : g.adjacency(nodes[i]))
-            adj_mask[i] |= (std::uint32_t{1} << index.at(v));
+        for (NodeId v : g.neighbors(nodes[i]))
+            adj_mask[i] |= (std::uint32_t{1} << index.position[v]);
         deg[i] = g.degree(nodes[i]);
     }
 
@@ -119,7 +119,7 @@ SweepResult sweep_cut(const Graph& g, std::uint64_t seed) {
     for (std::size_t k = 0; k + 1 < order.size(); ++k) {
         NodeId v = fr.nodes[order[k]];
         std::size_t inside = 0;
-        for (const auto& [u, _] : g.adjacency(v)) {
+        for (NodeId u : g.neighbors(v)) {
             if (position.at(u) < k) ++inside;
         }
         cut += g.degree(v) - 2 * inside;

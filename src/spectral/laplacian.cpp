@@ -1,11 +1,11 @@
 #include "spectral/laplacian.hpp"
 
 #include <cmath>
-#include <unordered_map>
 
 #include "graph/algorithms.hpp"
 #include "spectral/jacobi.hpp"
 #include "spectral/lanczos.hpp"
+#include "spectral/node_index.hpp"
 
 namespace xheal::spectral {
 
@@ -13,10 +13,8 @@ using graph::Graph;
 using graph::NodeId;
 
 DenseMatrix laplacian_dense(const Graph& g, LaplacianKind kind) {
-    auto nodes = g.nodes_sorted();
-    std::unordered_map<NodeId, std::size_t> index;
-    index.reserve(nodes.size());
-    for (std::size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i], i);
+    NodeIndex index(g);
+    const auto& nodes = index.nodes;
 
     DenseMatrix m(nodes.size());
     for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -24,13 +22,13 @@ DenseMatrix laplacian_dense(const Graph& g, LaplacianKind kind) {
         if (deg_i == 0) continue;  // isolated vertex: zero row
         if (kind == LaplacianKind::combinatorial) {
             m.at(i, i) = static_cast<double>(deg_i);
-            for (const auto& [v, _] : g.adjacency(nodes[i])) m.at(i, index.at(v)) = -1.0;
+            for (NodeId v : g.neighbors(nodes[i])) m.at(i, index.position[v]) = -1.0;
         } else {
             m.at(i, i) = 1.0;
             double di = std::sqrt(static_cast<double>(deg_i));
-            for (const auto& [v, _] : g.adjacency(nodes[i])) {
+            for (NodeId v : g.neighbors(nodes[i])) {
                 double dj = std::sqrt(static_cast<double>(g.degree(v)));
-                m.at(i, index.at(v)) = -1.0 / (di * dj);
+                m.at(i, index.position[v]) = -1.0 / (di * dj);
             }
         }
     }
@@ -81,17 +79,16 @@ FiedlerResult fiedler_dense(const Graph& g, LaplacianKind kind,
 
 FiedlerResult fiedler_lanczos(const Graph& g, LaplacianKind kind,
                               const std::vector<NodeId>& nodes, std::uint64_t seed) {
-    std::unordered_map<NodeId, std::size_t> index;
-    index.reserve(nodes.size());
-    for (std::size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i], i);
+    NodeIndex index(g);
+    const std::vector<std::size_t>& position = index.position;
 
     // Pre-resolve the sparse structure once: neighbor index lists.
     std::vector<std::vector<std::size_t>> nbrs(nodes.size());
     std::vector<double> inv_sqrt_deg(nodes.size(), 0.0);
     for (std::size_t i = 0; i < nodes.size(); ++i) {
-        const auto& row = g.adjacency(nodes[i]);
+        auto row = g.neighbors(nodes[i]);
         nbrs[i].reserve(row.size());
-        for (const auto& [v, _] : row) nbrs[i].push_back(index.at(v));
+        for (NodeId v : row) nbrs[i].push_back(position[v]);
         if (!row.empty()) inv_sqrt_deg[i] = 1.0 / std::sqrt(static_cast<double>(row.size()));
     }
 
@@ -133,7 +130,8 @@ FiedlerResult fiedler_lanczos(const Graph& g, LaplacianKind kind,
 }  // namespace
 
 FiedlerResult fiedler(const Graph& g, LaplacianKind kind, std::uint64_t seed) {
-    auto nodes = g.nodes_sorted();
+    auto view = g.nodes();
+    std::vector<NodeId> nodes(view.begin(), view.end());
     if (nodes.size() < 2) {
         FiedlerResult out;
         out.nodes = nodes;

@@ -20,7 +20,7 @@ enum class LaplacianKind {
     normalized,     ///< I - D^{-1/2} A D^{-1/2}
 };
 
-/// Dense Laplacian with rows/columns in graph.nodes_sorted() order.
+/// Dense Laplacian with rows/columns in graph.nodes() order (ascending id).
 /// Isolated vertices contribute an all-zero row in both conventions.
 DenseMatrix laplacian_dense(const graph::Graph& g, LaplacianKind kind);
 
@@ -29,7 +29,7 @@ std::vector<double> laplacian_spectrum(const graph::Graph& g, LaplacianKind kind
 
 struct FiedlerResult {
     double lambda2 = 0.0;
-    /// Eigenvector entries aligned with nodes_sorted(); for the normalized
+    /// Eigenvector entries aligned with `nodes`; for the normalized
     /// kind this is the raw eigenvector y (sweep callers rescale by
     /// D^{-1/2} themselves).
     std::vector<double> vector;

@@ -1,0 +1,28 @@
+// Dense renumbering of the live nodes for vector/matrix-aligned spectral
+// code: the i-th entry of any spectral vector corresponds to nodes[i], and
+// position[] maps a NodeId back to i. Node ids index slots directly, so the
+// reverse map is a flat vector rather than a hash table.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xheal::spectral {
+
+struct NodeIndex {
+    std::vector<graph::NodeId> nodes;       // live ids, ascending
+    std::vector<std::size_t> position;      // indexed by NodeId; size g.next_id()
+
+    explicit NodeIndex(const graph::Graph& g) {
+        nodes.reserve(g.node_count());
+        position.assign(g.next_id(), 0);
+        for (graph::NodeId v : g.nodes()) {
+            position[v] = nodes.size();
+            nodes.push_back(v);
+        }
+    }
+};
+
+}  // namespace xheal::spectral

@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
 #include "spectral/laplacian.hpp"
+#include "spectral/node_index.hpp"
 #include "util/expects.hpp"
 
 namespace xheal::spectral {
@@ -12,23 +12,13 @@ namespace xheal::spectral {
 using graph::Graph;
 using graph::NodeId;
 
-std::vector<double> stationary_distribution(const Graph& g) {
-    XHEAL_EXPECTS(g.edge_count() > 0);
-    auto nodes = g.nodes_sorted();
-    std::vector<double> pi(nodes.size());
-    double total = 2.0 * static_cast<double>(g.edge_count());
-    for (std::size_t i = 0; i < nodes.size(); ++i)
-        pi[i] = static_cast<double>(g.degree(nodes[i])) / total;
-    return pi;
-}
+namespace {
 
-std::vector<double> lazy_walk_step(const Graph& g, const std::vector<double>& p) {
-    auto nodes = g.nodes_sorted();
-    XHEAL_EXPECTS(p.size() == nodes.size());
-    std::unordered_map<NodeId, std::size_t> index;
-    index.reserve(nodes.size());
-    for (std::size_t i = 0; i < nodes.size(); ++i) index.emplace(nodes[i], i);
-
+/// One lazy-walk step with the dense index prebuilt, so mixing-time loops
+/// don't rebuild it every step.
+std::vector<double> lazy_walk_step_indexed(const Graph& g, const std::vector<double>& p,
+                                           const NodeIndex& index) {
+    const auto& nodes = index.nodes;
     std::vector<double> next(p.size(), 0.0);
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         double mass = p[i];
@@ -40,9 +30,25 @@ std::vector<double> lazy_walk_step(const Graph& g, const std::vector<double>& p)
         }
         next[i] += 0.5 * mass;
         double share = 0.5 * mass / static_cast<double>(deg);
-        for (const auto& [u, _] : g.adjacency(nodes[i])) next[index.at(u)] += share;
+        for (NodeId u : g.neighbors(nodes[i])) next[index.position[u]] += share;
     }
     return next;
+}
+
+}  // namespace
+
+std::vector<double> stationary_distribution(const Graph& g) {
+    XHEAL_EXPECTS(g.edge_count() > 0);
+    std::vector<double> pi;
+    pi.reserve(g.node_count());
+    double total = 2.0 * static_cast<double>(g.edge_count());
+    for (NodeId v : g.nodes()) pi.push_back(static_cast<double>(g.degree(v)) / total);
+    return pi;
+}
+
+std::vector<double> lazy_walk_step(const Graph& g, const std::vector<double>& p) {
+    XHEAL_EXPECTS(p.size() == g.node_count());
+    return lazy_walk_step_indexed(g, p, NodeIndex(g));
 }
 
 double total_variation(const std::vector<double>& a, const std::vector<double>& b) {
@@ -57,15 +63,13 @@ std::optional<std::size_t> mixing_time(const Graph& g, NodeId source, double eps
     XHEAL_EXPECTS(g.has_node(source));
     XHEAL_EXPECTS(epsilon > 0.0);
     if (g.edge_count() == 0) return std::nullopt;
-    auto nodes = g.nodes_sorted();
     auto pi = stationary_distribution(g);
-    std::vector<double> p(nodes.size(), 0.0);
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        if (nodes[i] == source) p[i] = 1.0;
-    }
+    NodeIndex index(g);
+    std::vector<double> p(g.node_count(), 0.0);
+    p[index.position[source]] = 1.0;
     for (std::size_t t = 0; t <= max_steps; ++t) {
         if (total_variation(p, pi) <= epsilon) return t;
-        p = lazy_walk_step(g, p);
+        p = lazy_walk_step_indexed(g, p, index);
     }
     return std::nullopt;
 }
@@ -73,7 +77,7 @@ std::optional<std::size_t> mixing_time(const Graph& g, NodeId source, double eps
 std::optional<std::size_t> mixing_time_worst(const Graph& g, double epsilon,
                                              std::size_t max_steps) {
     std::size_t worst = 0;
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         auto t = mixing_time(g, v, epsilon, max_steps);
         if (!t.has_value()) return std::nullopt;
         worst = std::max(worst, *t);

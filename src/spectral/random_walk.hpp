@@ -14,12 +14,12 @@
 namespace xheal::spectral {
 
 /// Stationary distribution of the lazy random walk: pi(v) = deg(v) / 2m,
-/// aligned with nodes_sorted(). Requires at least one edge.
+/// aligned with nodes() order (ascending id). Requires at least one edge.
 std::vector<double> stationary_distribution(const graph::Graph& g);
 
 /// One step of the lazy random walk (stay with probability 1/2, otherwise
 /// move to a uniform neighbor) applied to distribution `p` (aligned with
-/// nodes_sorted()).
+/// nodes() order).
 std::vector<double> lazy_walk_step(const graph::Graph& g, const std::vector<double>& p);
 
 /// Total variation distance between two distributions of equal length.

@@ -196,7 +196,7 @@ Graph make_barabasi_albert(std::size_t n, std::size_t m, util::Rng& rng) {
     XHEAL_EXPECTS(n > m);
     Graph g = make_complete(m + 1);
     std::vector<NodeId> endpoint_pool;  // each node appears once per degree
-    for (NodeId v : g.nodes_sorted())
+    for (NodeId v : g.nodes())
         for (std::size_t k = 0; k < g.degree(v); ++k) endpoint_pool.push_back(v);
 
     for (std::size_t v = m + 1; v < n; ++v) {

@@ -1,0 +1,296 @@
+// Property tests for the slot-indexed flat-adjacency storage core:
+// tombstone reuse rules, allocation-free view iteration against a
+// sorted-container oracle, claim-set transitions under interleaved
+// add/remove, and the incremental degree-histogram extremes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/expects.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xheal::graph;
+using xheal::util::ContractViolation;
+using xheal::util::Rng;
+
+// ----- tombstone rules -----
+
+TEST(GraphSlots, TombstonedIdIsNeverReusable) {
+    Graph g;
+    NodeId a = g.add_node();
+    NodeId b = g.add_node();
+    g.add_black_edge(a, b);
+    g.remove_node(a);
+    EXPECT_FALSE(g.has_node(a));
+    // The id is retired: explicit re-insertion is a contract violation...
+    EXPECT_THROW(g.add_node_with_id(a), ContractViolation);
+    // ...and fresh allocation skips past it.
+    EXPECT_EQ(g.add_node(), 2u);
+    EXPECT_EQ(g.next_id(), 3u);
+}
+
+TEST(GraphSlots, GapSlotsFromMirroredIdsAreFillable) {
+    Graph g;
+    g.add_node_with_id(5);  // ids 0..4 become gap slots, never issued
+    EXPECT_FALSE(g.has_node(3));
+    g.add_node_with_id(3);  // a gap is not a tombstone
+    EXPECT_TRUE(g.has_node(3));
+    EXPECT_EQ(g.node_count(), 2u);
+    // A gap that got filled and then removed is retired like any other id.
+    g.remove_node(3);
+    EXPECT_THROW(g.add_node_with_id(3), ContractViolation);
+    EXPECT_EQ(g.add_node(), 6u);
+}
+
+TEST(GraphSlots, DeadSlotRejectsAllNodeAndEdgeOperations) {
+    Graph g;
+    g.add_node();
+    g.add_node();
+    g.add_node();
+    g.add_black_edge(0, 1);
+    g.remove_node(1);
+    EXPECT_THROW(g.remove_node(1), ContractViolation);
+    EXPECT_THROW(g.degree(1), ContractViolation);
+    EXPECT_THROW(g.add_black_edge(0, 1), ContractViolation);
+    EXPECT_THROW((void)g.neighbors(1), ContractViolation);
+    EXPECT_FALSE(g.has_edge(0, 1));
+    EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(GraphSlots, TombstoneScanIsSkippedByViews) {
+    Graph g;
+    for (int i = 0; i < 10; ++i) g.add_node();
+    for (NodeId v : {2u, 3u, 4u, 7u, 9u}) g.remove_node(v);
+    std::vector<NodeId> seen;
+    for (NodeId v : g.nodes()) seen.push_back(v);
+    EXPECT_EQ(seen, (std::vector<NodeId>{0, 1, 5, 6, 8}));
+    EXPECT_EQ(g.nodes().size(), 5u);
+    EXPECT_EQ(g.nodes().front(), 0u);
+    g.remove_node(0);
+    EXPECT_EQ(g.nodes().front(), 1u);
+}
+
+// ----- views vs a sorted-container oracle -----
+
+/// Reference model: ordered adjacency sets plus per-edge claim state.
+struct Oracle {
+    std::map<NodeId, std::set<NodeId>> adj;
+    std::map<std::pair<NodeId, NodeId>, std::pair<bool, std::set<ColorId>>> claims;
+
+    static std::pair<NodeId, NodeId> key(NodeId u, NodeId v) {
+        return {std::min(u, v), std::max(u, v)};
+    }
+    void add_edge(NodeId u, NodeId v) {
+        adj[u].insert(v);
+        adj[v].insert(u);
+    }
+    void erase_edge_if_unclaimed(NodeId u, NodeId v) {
+        auto it = claims.find(key(u, v));
+        if (it != claims.end() && (it->second.first || !it->second.second.empty())) return;
+        claims.erase(key(u, v));
+        adj[u].erase(v);
+        adj[v].erase(u);
+    }
+};
+
+void expect_matches_oracle(const Graph& g, const Oracle& oracle) {
+    // Node view matches the oracle's sorted key walk.
+    std::vector<NodeId> got;
+    for (NodeId v : g.nodes()) got.push_back(v);
+    std::vector<NodeId> want;
+    for (const auto& [v, _] : oracle.adj) want.push_back(v);
+    ASSERT_EQ(got, want);
+    ASSERT_EQ(g.node_count(), oracle.adj.size());
+    ASSERT_EQ(g.nodes_sorted(), want);  // the shim agrees with the view
+
+    std::size_t edge_total = 0;
+    std::size_t max_deg = 0;
+    std::size_t min_deg = oracle.adj.empty() ? 0 : SIZE_MAX;
+    for (const auto& [v, nbrs] : oracle.adj) {
+        // Neighbor view matches the oracle's sorted set, including random
+        // access.
+        std::vector<NodeId> gn;
+        for (NodeId u : g.neighbors(v)) gn.push_back(u);
+        std::vector<NodeId> wn(nbrs.begin(), nbrs.end());
+        ASSERT_EQ(gn, wn);
+        ASSERT_EQ(g.neighbors(v).size(), nbrs.size());
+        ASSERT_EQ(g.degree(v), nbrs.size());
+        for (std::size_t i = 0; i < wn.size(); ++i) ASSERT_EQ(g.neighbors(v)[i], wn[i]);
+        ASSERT_EQ(g.neighbors_sorted(v), wn);  // the shim agrees with the view
+        edge_total += nbrs.size();
+        max_deg = std::max(max_deg, nbrs.size());
+        min_deg = std::min(min_deg, nbrs.size());
+    }
+    ASSERT_EQ(2 * g.edge_count(), edge_total);
+    ASSERT_EQ(g.max_degree(), max_deg);
+    ASSERT_EQ(g.min_degree(), oracle.adj.empty() ? 0 : min_deg);
+
+    // for_each_edge visits each edge once, ascending, with live claims.
+    std::pair<NodeId, NodeId> prev{0, 0};
+    bool first = true;
+    std::size_t visits = 0;
+    g.for_each_edge([&](NodeId u, NodeId v, const EdgeClaims& c) {
+        ASSERT_LT(u, v);
+        if (!first) ASSERT_TRUE(prev < std::make_pair(u, v));
+        prev = {u, v};
+        first = false;
+        ++visits;
+        auto it = oracle.claims.find({u, v});
+        ASSERT_NE(it, oracle.claims.end());
+        ASSERT_EQ(c.black, it->second.first);
+        std::vector<ColorId> wc(it->second.second.begin(), it->second.second.end());
+        ASSERT_EQ(c.colors, wc);
+        // The mirror entry must carry identical claims.
+        ASSERT_EQ(g.claims(v, u).black, c.black);
+        ASSERT_EQ(g.claims(v, u).colors, c.colors);
+    });
+    ASSERT_EQ(visits, g.edge_count());
+}
+
+TEST(GraphSlots, RandomChurnMatchesOracle) {
+    Rng rng(0x51ee7ULL);
+    Graph g;
+    Oracle oracle;
+    std::vector<NodeId> alive;
+
+    for (int step = 0; step < 3000; ++step) {
+        double roll = rng.uniform01();
+        if (roll < 0.15 || alive.size() < 2) {
+            NodeId v = g.add_node();
+            oracle.adj[v];
+            alive.push_back(v);
+        } else if (roll < 0.25 && alive.size() > 2) {
+            std::size_t i = rng.index(alive.size());
+            NodeId v = alive[i];
+            for (NodeId u : oracle.adj[v]) {
+                oracle.adj[u].erase(v);
+                oracle.claims.erase(Oracle::key(u, v));
+            }
+            oracle.adj.erase(v);
+            g.remove_node(v);
+            alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+            NodeId u = alive[rng.index(alive.size())];
+            NodeId v = alive[rng.index(alive.size())];
+            if (u == v) continue;
+            auto key = Oracle::key(u, v);
+            double op = rng.uniform01();
+            if (op < 0.35) {
+                g.add_black_edge(u, v);
+                oracle.add_edge(u, v);
+                oracle.claims[key].first = true;
+            } else if (op < 0.65) {
+                ColorId c = 1 + static_cast<ColorId>(rng.index(6));
+                g.add_color_claim(u, v, c);
+                oracle.add_edge(u, v);
+                oracle.claims[key].second.insert(c);
+            } else if (op < 0.85) {
+                ColorId c = 1 + static_cast<ColorId>(rng.index(6));
+                bool had = oracle.claims.contains(key) && oracle.claims[key].second.count(c);
+                EXPECT_EQ(g.remove_color_claim(u, v, c), had);
+                if (had) {
+                    oracle.claims[key].second.erase(c);
+                    oracle.erase_edge_if_unclaimed(u, v);
+                }
+            } else {
+                bool had = oracle.claims.contains(key) && oracle.claims[key].first;
+                EXPECT_EQ(g.remove_black_claim(u, v), had);
+                if (had) {
+                    oracle.claims[key].first = false;
+                    oracle.erase_edge_if_unclaimed(u, v);
+                }
+            }
+        }
+        if (step % 50 == 0) expect_matches_oracle(g, oracle);
+    }
+    expect_matches_oracle(g, oracle);
+}
+
+// ----- claim-set transitions under interleaved add/remove -----
+
+TEST(GraphSlots, ClaimTransitionsPreserveEdgeLifecycle) {
+    Graph g;
+    g.add_node();
+    g.add_node();
+    // black -> +c1 -> +c2 -> -black -> -c1 -> -c2 kills the edge exactly
+    // at the last step.
+    g.add_black_edge(0, 1);
+    g.add_color_claim(0, 1, 1);
+    g.add_color_claim(0, 1, 2);
+    EXPECT_TRUE(g.remove_black_claim(0, 1));
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.remove_color_claim(0, 1, 1));
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.remove_color_claim(0, 1, 2));
+    EXPECT_FALSE(g.has_edge(0, 1));
+    EXPECT_EQ(g.edge_count(), 0u);
+
+    // Idempotence: re-adding the same claim twice keeps one edge, and the
+    // claim set is a set.
+    g.add_color_claim(0, 1, 7);
+    g.add_color_claim(1, 0, 7);
+    EXPECT_EQ(g.edge_count(), 1u);
+    EXPECT_EQ(g.claims(0, 1).colors, (std::vector<ColorId>{7}));
+    // Recreating a black edge after a full teardown works (edges, unlike
+    // node ids, may be recreated).
+    EXPECT_TRUE(g.remove_color_claim(0, 1, 7));
+    g.add_black_edge(0, 1);
+    EXPECT_TRUE(g.has_black_claim(0, 1));
+    EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphSlots, InterleavedClaimChurnKeepsMirrorsExact) {
+    Rng rng(77);
+    Graph g;
+    for (int i = 0; i < 8; ++i) g.add_node();
+    for (int step = 0; step < 2000; ++step) {
+        NodeId u = static_cast<NodeId>(rng.index(8));
+        NodeId v = static_cast<NodeId>(rng.index(8));
+        if (u == v) continue;
+        switch (rng.index(4)) {
+            case 0: g.add_black_edge(u, v); break;
+            case 1: g.add_color_claim(u, v, 1 + static_cast<ColorId>(rng.index(3))); break;
+            case 2: g.remove_color_claim(u, v, 1 + static_cast<ColorId>(rng.index(3))); break;
+            default: g.remove_black_claim(u, v); break;
+        }
+        // Claim-empty => edge erased, mirrors bit-for-bit equal.
+        g.for_each_edge([&](NodeId a, NodeId b, const EdgeClaims& c) {
+            ASSERT_FALSE(c.empty());
+            ASSERT_EQ(g.claims(b, a).black, c.black);
+            ASSERT_EQ(g.claims(b, a).colors, c.colors);
+        });
+    }
+}
+
+// ----- incremental degree extremes -----
+
+TEST(GraphSlots, DegreeExtremesTrackChurn) {
+    Graph g;
+    EXPECT_EQ(g.max_degree(), 0u);
+    EXPECT_EQ(g.min_degree(), 0u);
+    for (int i = 0; i < 6; ++i) g.add_node();
+    EXPECT_EQ(g.max_degree(), 0u);
+    for (NodeId v = 1; v < 6; ++v) g.add_black_edge(0, v);  // star
+    EXPECT_EQ(g.max_degree(), 5u);
+    EXPECT_EQ(g.min_degree(), 1u);
+    g.remove_node(0);  // hub gone: everyone isolated
+    EXPECT_EQ(g.max_degree(), 0u);
+    EXPECT_EQ(g.min_degree(), 0u);
+    g.add_black_edge(1, 2);
+    g.add_black_edge(2, 3);
+    EXPECT_EQ(g.max_degree(), 2u);
+    EXPECT_EQ(g.min_degree(), 0u);
+    g.remove_node(4);
+    g.remove_node(5);
+    EXPECT_EQ(g.min_degree(), 1u);
+    g.remove_node(2);
+    EXPECT_EQ(g.max_degree(), 0u);
+}
+
+}  // namespace

@@ -33,7 +33,8 @@ struct PropertyParam {
 
 std::string param_name(const ::testing::TestParamInfo<PropertyParam>& info) {
     auto p = info.param;
-    std::string s = p.graph_name + "_" + p.adversary_name + "_d" + std::to_string(p.d);
+    std::string s = p.graph_name + "_" + p.adversary_name + "_d" + std::to_string(p.d) +
+                    "_s" + std::to_string(p.steps);
     for (char& c : s)
         if (c == '-') c = '_';
     return s;
@@ -108,6 +109,10 @@ std::vector<PropertyParam> make_params() {
     // Larger kappa sanity.
     params.push_back({"er", "random", 4, 50, 0.5});
     params.push_back({"cycle", "maxdeg", 4, 50, 0.5});
+    // Long-haul soak on the slot-indexed storage: 500 adversarial steps of
+    // targeted churn exercise tombstone accumulation, row reuse and the
+    // incremental degree bookkeeping far past the short sweeps above.
+    params.push_back({"regular", "bridge", 2, 500, 0.55});
     return params;
 }
 
