@@ -1,18 +1,16 @@
 // EXPERIMENT AMO (Section 5(c)): combining primary clouds is the costly
 // repair path; the paper amortizes it by showing a combine of total size S
 // requires Omega(S) prior cheap deletions. We drive the free-node-starving
-// adversary (the worst case for this rule) and measure:
+// adversary (the worst case for this rule) through the scenario engine with
+// a per-step connectivity probe and measure:
 //   * combine frequency (combines per deletion) — must stay small;
 //   * amortized combine mass (combined members per deletion) — must stay
 //     bounded by a constant factor of kappa * avg-degree;
 //   * amortized repair edges per deletion vs the kappa*(deg+2) bound.
 #include <iostream>
 
-#include "adversary/adversary.hpp"
 #include "bench_common.hpp"
-#include "core/session.hpp"
-#include "core/xheal_healer.hpp"
-#include "graph/algorithms.hpp"
+#include "scenario/runner.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
@@ -36,20 +34,30 @@ int main() {
         for (std::size_t d : {1u, 2u}) {
             graph::Graph initial =
                 workload::make_erdos_renyi(n, 5.0 / static_cast<double>(n) + 0.02, seed_rng);
-            auto healer = std::make_unique<core::XhealHealer>(core::XhealConfig{d, 17});
-            const auto* registry = &healer->registry();
-            std::size_t kappa = healer->kappa();
-            core::HealingSession session(std::move(initial), std::move(healer));
 
-            adversary::BridgeHunterDeletion hunter(registry);
-            util::Rng rng(29);
-            std::size_t deletions = 3 * n / 4;
+            scenario::ScenarioSpec spec;
+            spec.name = "free-node-starvation";
+            spec.seed = 29;
+            spec.healer = {"xheal", {{"d", std::to_string(d)}, {"seed", "17"}}};
+            spec.probes = {"connected"};
+            spec.sample_every = 1;  // connectivity checked after every step
+            scenario::PhaseSpec starve;
+            starve.name = "starve";
+            starve.steps = 3 * n / 4;
+            starve.delete_fraction = 1.0;
+            starve.min_nodes = 6;
+            starve.deleter = {"bridge-hunter", {}};
+            spec.phases.push_back(starve);
+
+            scenario::ScenarioRunner runner(spec, std::move(initial));
+            auto result = runner.run();
+            const auto& session = runner.session();
+            std::size_t kappa = runner.kappa();
+
             bool connected = true;
-            for (std::size_t i = 0; i < deletions && session.current().node_count() > 6;
-                 ++i) {
-                session.delete_node(hunter.pick(session, rng));
-                connected = connected && graph::is_connected(session.current());
-            }
+            for (const auto& sample : result.samples)
+                connected = connected && sample.connected();
+
             double p = static_cast<double>(session.deletions());
             double combine_rate = static_cast<double>(session.totals().combines) / p;
             double combine_mass =

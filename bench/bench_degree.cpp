@@ -2,18 +2,15 @@
 //   degree(x, G_t) <= kappa * degree(x, G'_t) + 2*kappa.
 //
 // Heavy insert/delete churn on three topologies with kappa swept over
-// {2,4,6,8} (d in {1,2,3,4}); we record the worst observed ratio
+// {2,4,6,8} (d in {1,2,3,4}), run through the scenario engine with the
+// per-step "degree" probe; we record the worst observed ratio
 // (deg_G - 2*kappa) / deg_G' and check it never exceeds kappa. The
 // Star baseline shows what unbounded degree concentration looks like.
 #include <algorithm>
 #include <iostream>
-#include <memory>
 
-#include "adversary/adversary.hpp"
-#include "baseline/baselines.hpp"
 #include "bench_common.hpp"
-#include "core/session.hpp"
-#include "core/xheal_healer.hpp"
+#include "scenario/runner.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
@@ -21,31 +18,34 @@ using namespace xheal;
 
 namespace {
 
-/// Worst over all steps and nodes of (deg_G(v) - 2*kappa) / deg_G'(v).
-double churn_worst_ratio(std::unique_ptr<core::Healer> healer, graph::Graph initial,
-                         std::size_t kappa, std::size_t steps, std::uint64_t seed,
+/// Worst over all steps and nodes of (deg_G(v) - 2*kappa) / deg_G'(v),
+/// sampled after every churn step by the runner's degree probe.
+double churn_worst_ratio(const std::string& healer_kind,
+                         const std::map<std::string, std::string>& healer_params,
+                         graph::Graph initial, std::size_t steps, std::uint64_t seed,
                          std::size_t* max_degree_seen = nullptr) {
-    util::Rng rng(seed);
-    core::HealingSession session(std::move(initial), std::move(healer));
-    adversary::RandomDeletion deleter;
-    adversary::PreferentialAttach inserter(3);
+    scenario::ScenarioSpec spec;
+    spec.name = "degree-churn";
+    spec.seed = seed;
+    spec.healer = {healer_kind, healer_params};
+    spec.probes = {"degree"};
+    spec.sample_every = 1;
+    scenario::PhaseSpec churn;
+    churn.name = "churn";
+    churn.steps = steps;
+    churn.delete_fraction = 0.55;
+    churn.min_nodes = 8;
+    churn.deleter = {"random", {}};
+    churn.inserter = {"preferential-attach", {{"k", "3"}}};
+    spec.phases.push_back(churn);
+
+    scenario::ScenarioRunner runner(spec, std::move(initial));
+    auto result = runner.run();
     double worst = 0.0;
     std::size_t max_deg = 0;
-    for (std::size_t t = 0; t < steps; ++t) {
-        if (rng.chance(0.55) && session.current().node_count() > 8) {
-            session.delete_node(deleter.pick(session, rng));
-        } else {
-            session.insert_node(inserter.pick_neighbors(session, rng));
-        }
-        const auto& g = session.current();
-        for (graph::NodeId v : g.nodes()) {
-            std::size_t dref = session.reference().degree(v);
-            max_deg = std::max(max_deg, g.degree(v));
-            if (dref == 0) continue;
-            double slack = static_cast<double>(g.degree(v)) -
-                           2.0 * static_cast<double>(kappa);
-            worst = std::max(worst, slack / static_cast<double>(dref));
-        }
+    for (const auto& sample : result.samples) {
+        worst = std::max(worst, sample.worst_slack_ratio);
+        max_deg = std::max(max_deg, sample.max_degree);
     }
     if (max_degree_seen != nullptr) *max_degree_seen = max_deg;
     return worst;
@@ -75,8 +75,8 @@ int main() {
         for (std::size_t d : {1u, 2u, 3u, 4u}) {
             std::size_t kappa = 2 * d;
             double worst = churn_worst_ratio(
-                std::make_unique<core::XhealHealer>(core::XhealConfig{d, 7 + d}), w.g,
-                kappa, 120, 13 + d);
+                "xheal", {{"d", std::to_string(d)}, {"seed", std::to_string(7 + d)}}, w.g,
+                120, 13 + d);
             bool holds = worst <= static_cast<double>(kappa) + 1e-9;
             all_hold = all_hold && holds;
             table.row()
@@ -92,13 +92,11 @@ int main() {
 
     // Baseline contrast: the star healer concentrates unbounded degree.
     std::size_t star_max = 0;
-    churn_worst_ratio(std::make_unique<baseline::StarHealer>(),
-                      workload::make_erdos_renyi(48, 0.12, seed_rng), 1, 120, 99,
+    churn_worst_ratio("star", {}, workload::make_erdos_renyi(48, 0.12, seed_rng), 120, 99,
                       &star_max);
     std::size_t xheal_max = 0;
-    churn_worst_ratio(std::make_unique<core::XhealHealer>(core::XhealConfig{2, 7}),
-                      workload::make_erdos_renyi(48, 0.12, seed_rng), 4, 120, 99,
-                      &xheal_max);
+    churn_worst_ratio("xheal", {{"d", "2"}, {"seed", "7"}},
+                      workload::make_erdos_renyi(48, 0.12, seed_rng), 120, 99, &xheal_max);
     std::cout << "\nbaseline contrast: max degree under churn — star healer "
               << star_max << " vs xheal(kappa=4) " << xheal_max << "\n\n";
 

@@ -1,6 +1,7 @@
 // EXPERIMENT T5a (Theorem 5): a repair completes in O(log n) rounds.
 //
-// Two regimes on the distributed implementation:
+// Two regimes on the distributed implementation, both expressed as
+// scenario-engine schedules (scenario/runner.hpp):
 //   * hub repair — delete the center of a star of n leaves, the worst case
 //     (the tournament election over n candidates): rounds ~ log2(n);
 //   * steady churn — random deletions on a bounded-degree expander: rounds
@@ -8,16 +9,50 @@
 #include <cmath>
 #include <iostream>
 
-#include "adversary/adversary.hpp"
 #include "bench_common.hpp"
-#include "core/distributed_xheal.hpp"
-#include "core/session.hpp"
+#include "scenario/runner.hpp"
 #include "util/fit.hpp"
-#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
 using namespace xheal;
+
+namespace {
+
+/// Star of n leaves, one max-degree (= hub) deletion on distributed Xheal.
+scenario::ScenarioSpec hub_spec(std::size_t n) {
+    scenario::ScenarioSpec spec;
+    spec.name = "hub-repair";
+    spec.seed = 5;
+    spec.topology = {"star", {{"leaves", std::to_string(n)}}};
+    spec.healer = {"xheal-dist", {{"d", "2"}}};
+    scenario::PhaseSpec kill;
+    kill.name = "kill";
+    kill.steps = 1;
+    kill.delete_fraction = 1.0;
+    kill.min_nodes = 1;
+    kill.deleter = {"max-degree", {}};
+    spec.phases.push_back(kill);
+    return spec;
+}
+
+/// `deletions` random deletions on a prebuilt 4-regular expander.
+scenario::ScenarioSpec churn_spec(std::size_t deletions) {
+    scenario::ScenarioSpec spec;
+    spec.name = "steady-churn";
+    spec.seed = 11;
+    spec.healer = {"xheal-dist", {{"d", "2"}, {"seed", "7"}}};
+    scenario::PhaseSpec churn;
+    churn.name = "churn";
+    churn.steps = deletions;
+    churn.delete_fraction = 1.0;
+    churn.min_nodes = 8;
+    churn.deleter = {"random", {}};
+    spec.phases.push_back(churn);
+    return spec;
+}
+
+}  // namespace
 
 int main() {
     bench::experiment_header("T5a", "repair completes in O(log n) rounds (Theorem 5)");
@@ -27,18 +62,18 @@ int main() {
     std::vector<double> ns, rounds_series;
     bool hub_ok = true;
     for (std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
-        graph::Graph g = workload::make_star(n);
-        core::DistributedXheal healer(core::XhealConfig{2, 5});
-        auto report = healer.on_delete(g, 0);
+        scenario::ScenarioRunner runner(hub_spec(n));
+        auto result = runner.run();
+        double rounds = result.phases[0].rounds.max();
         double logn = std::log2(static_cast<double>(n));
         hub_table.row()
             .add(n)
-            .add(report.rounds)
+            .add(static_cast<std::size_t>(rounds))
             .add(logn, 2)
-            .add(static_cast<double>(report.rounds) / logn, 3);
+            .add(rounds / logn, 3);
         ns.push_back(static_cast<double>(n));
-        rounds_series.push_back(static_cast<double>(report.rounds));
-        hub_ok = hub_ok && static_cast<double>(report.rounds) <= 3.0 * logn + 8.0;
+        rounds_series.push_back(rounds);
+        hub_ok = hub_ok && rounds <= 3.0 * logn + 8.0;
     }
     hub_table.print(std::cout);
     auto fit = util::fit_vs_log2(ns, rounds_series);
@@ -55,16 +90,10 @@ int main() {
     util::Rng seed_rng(3);
     for (std::size_t n : {32u, 128u, 512u}) {
         graph::Graph initial = workload::make_random_regular(n, 4, seed_rng);
-        auto healer = std::make_unique<core::DistributedXheal>(core::XhealConfig{2, 7});
-        core::HealingSession session(std::move(initial), std::move(healer));
-        adversary::RandomDeletion attacker;
-        util::Rng rng(11);
-        util::RunningStats rounds;
         std::size_t deletions = n / 4;
-        for (std::size_t i = 0; i < deletions; ++i) {
-            auto report = session.delete_node(attacker.pick(session, rng));
-            rounds.add(static_cast<double>(report.rounds));
-        }
+        scenario::ScenarioRunner runner(churn_spec(deletions), std::move(initial));
+        auto result = runner.run();
+        const auto& rounds = result.phases[0].rounds;
         double envelope = 3.0 * std::log2(static_cast<double>(n)) + 8.0;
         churn_ok = churn_ok && rounds.max() <= envelope;
         churn_table.row()

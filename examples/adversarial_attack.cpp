@@ -1,51 +1,41 @@
 // Omniscient adversary: topology-aware attacks (hub kills, cut-point
-// kills) against Xheal and against the tree-style baseline, side by side.
-// Xheal holds expansion and spectral gap; the tree baseline decays.
+// kills, colored-degree kills) against Xheal and against the tree-style
+// baseline, side by side. Every cell is one declarative scenario run by
+// the engine. Xheal holds expansion and spectral gap; the tree baseline
+// decays.
 //
 //   ./adversarial_attack [n] [deletions] [seed]
 #include <cstdlib>
 #include <iostream>
-#include <memory>
+#include <string>
 
-#include "adversary/adversary.hpp"
-#include "baseline/baselines.hpp"
-#include "core/metrics.hpp"
-#include "core/session.hpp"
-#include "core/xheal_healer.hpp"
-#include "graph/algorithms.hpp"
-#include "spectral/expansion.hpp"
-#include "spectral/laplacian.hpp"
+#include "scenario/runner.hpp"
 #include "util/table.hpp"
-#include "workload/generators.hpp"
 
 namespace {
 
-struct Outcome {
-    bool connected = true;
-    double expansion = 0.0;
-    double lambda2 = 0.0;
-    double max_degree_ratio = 0.0;
-    double stretch = 0.0;
-};
-
-Outcome run(std::unique_ptr<xheal::core::Healer> healer,
-            xheal::adversary::DeletionStrategy& attacker, std::size_t n,
-            std::size_t deletions, std::uint64_t seed) {
+xheal::scenario::MetricSample run(const std::string& attack, const std::string& healer,
+                                  std::size_t n, std::size_t deletions,
+                                  std::uint64_t seed) {
     using namespace xheal;
-    util::Rng rng(seed);
-    graph::Graph initial = workload::make_random_regular(n, 6, rng);
-    core::HealingSession session(initial, std::move(healer));
-    for (std::size_t i = 0; i < deletions && session.current().node_count() > 8; ++i) {
-        session.delete_node(attacker.pick(session, rng));
-    }
-    Outcome out;
-    const auto& g = session.current();
-    out.connected = graph::is_connected(g);
-    out.expansion = spectral::edge_expansion_estimate(g);
-    out.lambda2 = spectral::lambda2(g);
-    out.max_degree_ratio = core::degree_increase(g, session.reference()).max_ratio;
-    out.stretch = core::sampled_stretch(g, session.reference(), 12, rng);
-    return out;
+    scenario::ScenarioSpec spec;
+    spec.name = attack + "-vs-" + healer;
+    spec.seed = seed;
+    spec.topology = {"random-regular", {{"n", std::to_string(n)}, {"d", "6"}}};
+    spec.healer = healer == "xheal" ? scenario::ComponentSpec{"xheal", {{"d", "3"}}}
+                                    : scenario::ComponentSpec{healer, {}};
+    spec.probes = {"connected", "degree", "expansion", "lambda2", "stretch"};
+    spec.stretch_samples = 12;
+    scenario::PhaseSpec assault;
+    assault.name = "assault";
+    assault.steps = deletions;
+    assault.delete_fraction = 1.0;
+    assault.min_nodes = 8;
+    assault.deleter = {attack, {}};
+    spec.phases.push_back(assault);
+
+    scenario::ScenarioRunner runner(spec);
+    return runner.run().final_sample;
 }
 
 }  // namespace
@@ -59,30 +49,18 @@ int main(int argc, char** argv) {
 
     util::Table table({"attack", "healer", "connected", "h(G)~", "lambda2",
                        "max-deg-ratio", "stretch"});
-    auto row = [&](std::string_view attack, std::string_view healer, const Outcome& o) {
-        table.row()
-            .add(std::string(attack))
-            .add(std::string(healer))
-            .add(o.connected)
-            .add(o.expansion, 3)
-            .add(o.lambda2, 4)
-            .add(o.max_degree_ratio, 2)
-            .add(o.stretch, 2);
-    };
-
-    adversary::MaxDegreeDeletion hub;
-    adversary::CutPointDeletion cut;
-    adversary::ColoredDegreeDeletion colored;
-
-    for (auto* attack : {static_cast<adversary::DeletionStrategy*>(&hub),
-                         static_cast<adversary::DeletionStrategy*>(&cut),
-                         static_cast<adversary::DeletionStrategy*>(&colored)}) {
-        row(attack->name(), "xheal",
-            run(std::make_unique<core::XhealHealer>(core::XhealConfig{3, seed}), *attack,
-                n, deletions, seed));
-        row(attack->name(), "forgiving-tree",
-            run(std::make_unique<baseline::ForgivingTreeStyleHealer>(), *attack, n,
-                deletions, seed));
+    for (const char* attack : {"max-degree", "cut-point", "colored-degree"}) {
+        for (const char* healer : {"xheal", "forgiving-tree"}) {
+            auto o = run(attack, healer, n, deletions, seed);
+            table.row()
+                .add(attack)
+                .add(healer)
+                .add(o.connected())
+                .add(o.expansion, 3)
+                .add(o.lambda2, 4)
+                .add(o.max_degree_ratio, 2)
+                .add(o.stretch, 2);
+        }
     }
 
     std::cout << "6-regular random expander, n=" << n << ", " << deletions

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
     util::Table table({"deletion", "victim-deg", "rounds", "messages", "combines"});
     for (std::size_t i = 0; i < deletions && session.current().node_count() > 8; ++i) {
-        auto alive = session.alive_nodes();
+        const auto& alive = session.alive_pool();
         graph::NodeId victim = alive[rng.index(alive.size())];
         std::size_t deg = session.current().degree(victim);
         auto report = session.delete_node(victim);

@@ -2,19 +2,16 @@
 // Skype outage): peers continuously join and leave; the overlay must stay
 // connected with good expansion so routing and gossip keep working.
 //
+// The whole experiment is one declarative scenario (scenarios/p2p_churn.scn
+// is the file-based twin): an H-graph overlay, a 50/50 join-leave phase,
+// and periodic expansion/stretch probes, executed by the scenario engine.
+//
 //   ./p2p_churn [steps] [seed]
 #include <cstdlib>
 #include <iostream>
 
-#include "adversary/adversary.hpp"
-#include "core/metrics.hpp"
-#include "core/session.hpp"
-#include "core/xheal_healer.hpp"
-#include "graph/algorithms.hpp"
-#include "spectral/expansion.hpp"
-#include "spectral/laplacian.hpp"
+#include "scenario/runner.hpp"
 #include "util/table.hpp"
-#include "workload/generators.hpp"
 
 int main(int argc, char** argv) {
     using namespace xheal;
@@ -22,38 +19,41 @@ int main(int argc, char** argv) {
     std::size_t steps = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300;
     std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
 
-    util::Rng rng(seed);
-    graph::Graph overlay = workload::make_hgraph_graph(48, 3, rng);
+    scenario::ScenarioSpec spec;
+    spec.name = "p2p-churn";
+    spec.seed = seed;
+    spec.topology = {"hgraph", {{"n", "48"}, {"d", "3"}}};
+    spec.healer = {"xheal", {{"d", "3"}}};
+    spec.probes = {"degree", "expansion", "lambda2", "stretch"};
+    spec.sample_every = steps / 10 == 0 ? 1 : steps / 10;
+    scenario::PhaseSpec churn;
+    churn.name = "churn";
+    churn.steps = steps;
+    churn.delete_fraction = 0.5;
+    churn.min_nodes = 8;
+    churn.deleter = {"random", {}};
+    churn.inserter = {"preferential-attach", {{"k", "3"}}};  // find well-known peers
+    spec.phases.push_back(churn);
 
-    core::HealingSession session(
-        overlay, std::make_unique<core::XhealHealer>(core::XhealConfig{3, seed}));
-    adversary::RandomDeletion churn_out;
-    adversary::PreferentialAttach churn_in(3);  // newcomers find well-known peers
+    scenario::ScenarioRunner runner(spec);
+    auto result = runner.run();
 
     util::Table table({"t", "peers", "edges", "h(G)~", "lambda2", "max-deg-ratio",
                        "stretch"});
-    std::size_t checkpoint = steps / 10 == 0 ? 1 : steps / 10;
-    for (std::size_t t = 1; t <= steps; ++t) {
-        if (rng.chance(0.5) && session.current().node_count() > 8) {
-            auto victim = churn_out.pick(session, rng);
-            session.delete_node(victim);
-        } else {
-            session.insert_node(churn_in.pick_neighbors(session, rng));
-        }
-        if (t % checkpoint == 0) {
-            const auto& g = session.current();
-            table.row()
-                .add(t)
-                .add(g.node_count())
-                .add(g.edge_count())
-                .add(spectral::edge_expansion_estimate(g), 3)
-                .add(spectral::lambda2(g), 4)
-                .add(core::degree_increase(g, session.reference()).max_ratio, 2)
-                .add(core::sampled_stretch(g, session.reference(), 8, rng), 2);
-        }
+    for (const auto& s : result.samples) {
+        table.row()
+            .add(s.step)
+            .add(s.nodes)
+            .add(s.edges)
+            .add(s.expansion, 3)
+            .add(s.lambda2, 4)
+            .add(s.max_degree_ratio, 2)
+            .add(s.stretch, 2);
     }
     std::cout << "P2P overlay, 50/50 join-leave churn, " << steps << " events:\n\n";
     table.print(std::cout);
+
+    const auto& session = runner.session();
     std::cout << "\nthe overlay never partitions: " << session.deletions()
               << " peer crashes healed, amortized "
               << static_cast<double>(session.totals().edges_added) /

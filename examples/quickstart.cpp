@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
                        "max-deg-ratio", "h(G)~", "lambda2"});
     for (std::size_t step = 0; step < deletions && session.current().node_count() > 4;
          ++step) {
-        auto alive = session.alive_nodes();
+        const auto& alive = session.alive_pool();
         graph::NodeId victim = alive[rng.index(alive.size())];
         std::size_t victim_degree = session.current().degree(victim);
         session.delete_node(victim);

@@ -11,7 +11,7 @@ using core::HealingSession;
 using graph::NodeId;
 
 NodeId RandomDeletion::pick(const HealingSession& session, util::Rng& rng) {
-    auto alive = session.alive_nodes();
+    const auto& alive = session.alive_pool();
     if (alive.empty()) return graph::invalid_node;
     return alive[rng.index(alive.size())];
 }
@@ -92,7 +92,7 @@ NodeId BridgeHunterDeletion::pick(const HealingSession& session, util::Rng& rng)
 
 std::vector<NodeId> RandomAttach::pick_neighbors(const HealingSession& session,
                                                  util::Rng& rng) {
-    auto alive = session.alive_nodes();
+    const auto& alive = session.alive_pool();
     if (alive.empty()) return {};
     std::size_t k = std::min(k_, alive.size());
     auto chosen = rng.sample(alive, k);
@@ -103,9 +103,7 @@ std::vector<NodeId> RandomAttach::pick_neighbors(const HealingSession& session,
 std::vector<NodeId> PreferentialAttach::pick_neighbors(const HealingSession& session,
                                                        util::Rng& rng) {
     const auto& g = session.current();
-    // Sampling pool: materialized once, then whittled down in place.
-    auto view = g.nodes();
-    std::vector<NodeId> alive(view.begin(), view.end());
+    const auto& alive = session.alive_pool();
     if (alive.empty()) return {};
     std::size_t k = std::min(k_, alive.size());
 

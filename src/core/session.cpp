@@ -7,9 +7,19 @@ namespace xheal::core {
 using graph::Graph;
 using graph::NodeId;
 
+namespace {
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+}  // namespace
+
 HealingSession::HealingSession(Graph initial, std::unique_ptr<Healer> healer)
     : g_(initial), ref_(std::move(initial)), healer_(std::move(healer)) {
     XHEAL_EXPECTS(healer_ != nullptr);
+    pool_pos_.assign(g_.next_id(), npos);
+    alive_.reserve(g_.node_count());
+    for (NodeId v : g_.nodes()) {
+        pool_pos_[v] = alive_.size();
+        alive_.push_back(v);
+    }
 }
 
 NodeId HealingSession::insert_node(const std::vector<NodeId>& neighbors) {
@@ -21,6 +31,9 @@ NodeId HealingSession::insert_node(const std::vector<NodeId>& neighbors) {
         ref_.add_black_edge(v, u);
     }
     healer_->on_insert(g_, v);
+    if (pool_pos_.size() <= v) pool_pos_.resize(v + 1, npos);
+    pool_pos_[v] = alive_.size();
+    alive_.push_back(v);
     ++insertions_;
     return v;
 }
@@ -30,6 +43,13 @@ RepairReport HealingSession::delete_node(NodeId v) {
     deleted_black_degree_.add(static_cast<double>(ref_.degree(v)));
     RepairReport report = healer_->on_delete(g_, v);
     XHEAL_ENSURES(!g_.has_node(v));
+    // Swap-remove v from the alive pool: O(1), no materialization.
+    std::size_t pos = pool_pos_[v];
+    NodeId last = alive_.back();
+    alive_[pos] = last;
+    pool_pos_[last] = pos;
+    alive_.pop_back();
+    pool_pos_[v] = npos;
     totals_.accumulate(report);
     ++deletions_;
     return report;

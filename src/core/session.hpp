@@ -50,12 +50,15 @@ public:
     /// Amortized messages per deletion (distributed healers; 0 otherwise).
     double amortized_messages() const;
 
-    /// Materialized alive-node list for sampling (adversaries index into
-    /// it); traversals should use current().nodes() instead.
-    std::vector<graph::NodeId> alive_nodes() const {
-        auto view = g_.nodes();
-        return {view.begin(), view.end()};
-    }
+    /// Incrementally-maintained pool of alive node ids, in arbitrary (but
+    /// deterministic) order. O(1) per insert/delete to keep current; the
+    /// sampling substrate for adversary strategies — no per-pick
+    /// materialization. Ordered traversals should use current().nodes().
+    const std::vector<graph::NodeId>& alive_pool() const { return alive_; }
+
+    /// Deprecated materializing shim: copies the pool. Kept for tests and
+    /// old examples; new code should sample alive_pool() directly.
+    std::vector<graph::NodeId> alive_nodes() const { return alive_; }
 
 private:
     graph::Graph g_;
@@ -65,6 +68,9 @@ private:
     std::size_t deletions_ = 0;
     std::size_t insertions_ = 0;
     util::RunningStats deleted_black_degree_;
+    // Swap-remove pool: alive_[pool_pos_[v]] == v for every alive v.
+    std::vector<graph::NodeId> alive_;
+    std::vector<std::size_t> pool_pos_;
 };
 
 }  // namespace xheal::core

@@ -20,7 +20,7 @@
 // deterministic (ascending) iteration free. Traversal goes through the
 // allocation-free NodesView / NeighborsView ranges; the legacy
 // nodes_sorted() / neighbors_sorted() shims materialize vectors and remain
-// only for tests and sampling call sites that need an indexable copy.
+// only for tests (sampling call sites use HealingSession::alive_pool()).
 #pragma once
 
 #include <algorithm>
@@ -235,8 +235,8 @@ public:
     std::size_t node_count() const { return live_nodes_; }
 
     /// All node ids in ascending order. Deprecated materializing shim —
-    /// kept for tests and for call sites that need an indexable sample
-    /// pool; traversals should use nodes().
+    /// kept for tests only; traversals should use nodes() and sampling
+    /// should use HealingSession::alive_pool().
     std::vector<NodeId> nodes_sorted() const;
 
     // ----- edges / claims -----
@@ -273,8 +273,7 @@ public:
     std::size_t edge_count() const { return edge_count_; }
 
     /// Neighbors of v in ascending id order. Deprecated materializing shim —
-    /// kept for tests and snapshot call sites; traversals should use
-    /// neighbors() or row().
+    /// kept for tests only; traversals should use neighbors() or row().
     std::vector<NodeId> neighbors_sorted(NodeId v) const;
 
     /// Deprecated alias of row(v); the old hash-of-hashes accessor. The

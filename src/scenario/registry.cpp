@@ -1,0 +1,136 @@
+#include "scenario/registry.hpp"
+
+#include <stdexcept>
+
+#include "baseline/baselines.hpp"
+#include "core/distributed_xheal.hpp"
+#include "core/xheal_healer.hpp"
+#include "workload/generators.hpp"
+
+namespace xheal::scenario {
+
+namespace {
+
+[[noreturn]] void unknown(const std::string& what, const std::string& kind) {
+    throw std::runtime_error("unknown " + what + " kind: '" + kind + "'");
+}
+
+core::XhealConfig xheal_config(const ComponentSpec& spec, std::uint64_t default_seed) {
+    core::XhealConfig config;
+    config.d = spec.get_u64("d", 4);
+    config.seed = spec.get_u64("seed", default_seed);
+    config.rebuild_on_half_loss = spec.get_bool("rebuild", true);
+    return config;
+}
+
+}  // namespace
+
+graph::Graph make_topology(const ComponentSpec& spec, util::Rng& rng) {
+    const std::string& kind = spec.kind;
+    if (kind == "path") return workload::make_path(spec.get_u64("n", 16));
+    if (kind == "cycle") return workload::make_cycle(spec.get_u64("n", 16));
+    if (kind == "star") return workload::make_star(spec.get_u64("leaves", 16));
+    if (kind == "complete") return workload::make_complete(spec.get_u64("n", 8));
+    if (kind == "grid")
+        return workload::make_grid(spec.get_u64("rows", 4), spec.get_u64("cols", 4));
+    if (kind == "torus")
+        return workload::make_torus(spec.get_u64("rows", 4), spec.get_u64("cols", 4));
+    if (kind == "hypercube") return workload::make_hypercube(spec.get_u64("dim", 4));
+    if (kind == "binary-tree") return workload::make_binary_tree(spec.get_u64("n", 15));
+    if (kind == "erdos-renyi")
+        return workload::make_erdos_renyi(spec.get_u64("n", 64), spec.get_double("p", 0.1),
+                                          rng);
+    if (kind == "random-regular")
+        return workload::make_random_regular(spec.get_u64("n", 64), spec.get_u64("d", 4),
+                                             rng);
+    if (kind == "barabasi-albert")
+        return workload::make_barabasi_albert(spec.get_u64("n", 64), spec.get_u64("m", 2),
+                                              rng);
+    if (kind == "dumbbell") return workload::make_dumbbell(spec.get_u64("clique", 8));
+    if (kind == "petersen") return workload::make_petersen();
+    if (kind == "hgraph")
+        return workload::make_hgraph_graph(spec.get_u64("n", 48), spec.get_u64("d", 3), rng);
+    unknown("topology", kind);
+}
+
+std::vector<std::string> topology_names() {
+    return {"path",        "cycle",         "star",          "complete",
+            "grid",        "torus",         "hypercube",     "binary-tree",
+            "erdos-renyi", "random-regular", "barabasi-albert", "dumbbell",
+            "petersen",    "hgraph"};
+}
+
+HealerHandle make_healer(const ComponentSpec& spec, std::uint64_t default_seed) {
+    const std::string& kind = spec.kind;
+    HealerHandle handle;
+    if (kind == "xheal") {
+        auto healer = std::make_unique<core::XhealHealer>(xheal_config(spec, default_seed));
+        handle.registry = &healer->registry();
+        handle.kappa = healer->kappa();
+        handle.healer = std::move(healer);
+    } else if (kind == "xheal-dist") {
+        auto healer =
+            std::make_unique<core::DistributedXheal>(xheal_config(spec, default_seed));
+        handle.registry = &healer->registry();
+        handle.kappa = healer->kappa();
+        handle.healer = std::move(healer);
+    } else if (kind == "no-heal") {
+        handle.healer = std::make_unique<baseline::NoHealHealer>();
+    } else if (kind == "line") {
+        handle.healer = std::make_unique<baseline::LineHealer>();
+    } else if (kind == "cycle") {
+        handle.healer = std::make_unique<baseline::CycleHealer>();
+    } else if (kind == "star") {
+        handle.healer = std::make_unique<baseline::StarHealer>();
+    } else if (kind == "forgiving-tree") {
+        handle.healer = std::make_unique<baseline::ForgivingTreeStyleHealer>();
+    } else if (kind == "random-match") {
+        handle.healer = std::make_unique<baseline::RandomMatchHealer>(
+            spec.get_u64("k", 3), spec.get_u64("seed", default_seed));
+    } else {
+        unknown("healer", kind);
+    }
+    return handle;
+}
+
+std::vector<std::string> healer_names() {
+    return {"xheal", "xheal-dist", "no-heal",      "line",
+            "cycle", "star",       "forgiving-tree", "random-match"};
+}
+
+std::unique_ptr<adversary::DeletionStrategy> make_deleter(
+    const ComponentSpec& spec, const core::CloudRegistry* registry) {
+    const std::string& kind = spec.kind;
+    if (kind == "random") return std::make_unique<adversary::RandomDeletion>();
+    if (kind == "max-degree") return std::make_unique<adversary::MaxDegreeDeletion>();
+    if (kind == "min-degree") return std::make_unique<adversary::MinDegreeDeletion>();
+    if (kind == "cut-point") return std::make_unique<adversary::CutPointDeletion>();
+    if (kind == "colored-degree") return std::make_unique<adversary::ColoredDegreeDeletion>();
+    if (kind == "bridge-hunter") {
+        if (registry == nullptr)
+            throw std::runtime_error(
+                "bridge-hunter deleter requires an xheal-family healer (no cloud registry)");
+        return std::make_unique<adversary::BridgeHunterDeletion>(registry);
+    }
+    unknown("deleter", kind);
+}
+
+std::vector<std::string> deleter_names() {
+    return {"random",        "max-degree",   "min-degree",
+            "cut-point",     "colored-degree", "bridge-hunter"};
+}
+
+std::unique_ptr<adversary::InsertionStrategy> make_inserter(const ComponentSpec& spec) {
+    const std::string& kind = spec.kind;
+    std::size_t k = spec.get_u64("k", 3);
+    if (kind == "random-attach") return std::make_unique<adversary::RandomAttach>(k);
+    if (kind == "preferential-attach")
+        return std::make_unique<adversary::PreferentialAttach>(k);
+    unknown("inserter", kind);
+}
+
+std::vector<std::string> inserter_names() {
+    return {"random-attach", "preferential-attach"};
+}
+
+}  // namespace xheal::scenario

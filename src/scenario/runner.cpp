@@ -1,0 +1,303 @@
+#include "scenario/runner.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/metrics.hpp"
+#include "graph/algorithms.hpp"
+#include "spectral/expansion.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace xheal::scenario {
+
+namespace {
+
+/// Independent probe stream: decorrelated from the master seed so probe
+/// cadence never perturbs adversary decisions.
+constexpr std::uint64_t probe_salt = 0x70726f6265735full;
+
+core::HealingSession build_session(const ScenarioSpec& spec, util::Rng& rng,
+                                   graph::Graph* prebuilt, std::size_t& kappa,
+                                   const core::CloudRegistry*& registry) {
+    graph::Graph initial = prebuilt != nullptr ? std::move(*prebuilt)
+                                               : make_topology(spec.topology, rng);
+    HealerHandle handle = make_healer(spec.healer, spec.seed);
+    kappa = handle.kappa;
+    registry = handle.registry;
+    return core::HealingSession(std::move(initial), std::move(handle.healer));
+}
+
+}  // namespace
+
+Trace RunResult::to_trace(const ScenarioSpec& spec) const {
+    Trace trace;
+    trace.scenario = spec.name;
+    trace.seed = spec.seed;
+    trace.spec_hash = spec.content_hash();
+    trace.events = events;
+    trace.trace_hash = trace_hash;
+    trace.fingerprint = fingerprint;
+    return trace;
+}
+
+ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec)
+    : spec_(spec),
+      rng_(spec.seed),
+      probe_rng_(spec.seed ^ probe_salt),
+      session_(build_session(spec_, rng_, nullptr, kappa_, registry_)) {}
+
+ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec, graph::Graph initial)
+    : spec_(spec),
+      rng_(spec.seed),
+      probe_rng_(spec.seed ^ probe_salt),
+      session_(build_session(spec_, rng_, &initial, kappa_, registry_)) {}
+
+ScenarioRunner::Probes ScenarioRunner::parse_probes(const ScenarioSpec& spec) {
+    Probes probes;
+    for (const std::string& name : spec.probes) {
+        if (name == "connected") probes.connected = true;
+        else if (name == "degree") probes.degree = true;
+        else if (name == "expansion") probes.expansion = true;
+        else if (name == "lambda2") probes.lambda2 = true;
+        else if (name == "stretch") probes.stretch = true;
+        else throw std::runtime_error("unknown probe: '" + name + "'");
+    }
+    return probes;
+}
+
+ScenarioRunner::Probes ScenarioRunner::final_probes() const {
+    Probes probes = parse_probes(spec_);
+    for (const Expectation& e : spec_.expectations) {
+        switch (e.kind) {
+            case Expectation::Kind::connected: probes.connected = true; break;
+            case Expectation::Kind::max_degree_ratio_le: probes.degree = true; break;
+            case Expectation::Kind::expansion_ge: probes.expansion = true; break;
+            case Expectation::Kind::lambda2_ge: probes.lambda2 = true; break;
+            case Expectation::Kind::stretch_le: probes.stretch = true; break;
+            case Expectation::Kind::nodes_ge: break;
+        }
+    }
+    return probes;
+}
+
+MetricSample ScenarioRunner::take_sample(std::size_t step, const std::string& phase,
+                                         const Probes& probes) {
+    const graph::Graph& g = session_.current();
+    MetricSample sample;
+    sample.step = step;
+    sample.phase = phase;
+    sample.nodes = g.node_count();
+    sample.edges = g.edge_count();
+    sample.deletions = session_.deletions();
+    sample.insertions = session_.insertions();
+    if (probes.connected) sample.components = graph::connected_components(g).size();
+    if (probes.degree) {
+        sample.max_degree = g.max_degree();
+        auto increase = core::degree_increase(g, session_.reference());
+        sample.max_degree_ratio = increase.max_ratio;
+        sample.mean_degree_ratio = increase.mean_ratio;
+        // Lemma 3 witness: max over alive v of (deg_G(v) - 2k) / deg_G'(v).
+        double worst = 0.0;
+        double two_kappa = 2.0 * static_cast<double>(kappa_);
+        for (graph::NodeId v : g.nodes()) {
+            std::size_t dref = session_.reference().degree(v);
+            if (dref == 0) continue;
+            double slack = static_cast<double>(g.degree(v)) - two_kappa;
+            worst = std::max(worst, slack / static_cast<double>(dref));
+        }
+        sample.worst_slack_ratio = worst;
+    }
+    if (probes.expansion) sample.expansion = spectral::edge_expansion_estimate(g);
+    if (probes.lambda2) sample.lambda2 = spectral::lambda2(g);
+    if (probes.stretch)
+        sample.stretch = core::sampled_stretch(g, session_.reference(),
+                                               spec_.stretch_samples, probe_rng_);
+    return sample;
+}
+
+void ScenarioRunner::evaluate_expectations(RunResult& result) const {
+    const MetricSample& fin = result.final_sample;
+    auto fmt = [](double v) {
+        std::string s = std::to_string(v);
+        return s;
+    };
+    for (const Expectation& e : spec_.expectations) {
+        switch (e.kind) {
+            case Expectation::Kind::connected:
+                if (!fin.connected())
+                    result.failures.push_back("connected: final graph has " +
+                                              std::to_string(fin.components) +
+                                              " components");
+                break;
+            case Expectation::Kind::max_degree_ratio_le:
+                if (!(fin.max_degree_ratio <= e.value))
+                    result.failures.push_back("max_degree_ratio: wanted <= " + fmt(e.value) +
+                                              ", got " + fmt(fin.max_degree_ratio));
+                break;
+            case Expectation::Kind::expansion_ge:
+                if (!(fin.expansion >= e.value))
+                    result.failures.push_back("expansion: wanted >= " + fmt(e.value) +
+                                              ", got " + fmt(fin.expansion));
+                break;
+            case Expectation::Kind::lambda2_ge:
+                if (!(fin.lambda2 >= e.value))
+                    result.failures.push_back("lambda2: wanted >= " + fmt(e.value) +
+                                              ", got " + fmt(fin.lambda2));
+                break;
+            case Expectation::Kind::stretch_le:
+                if (!(fin.stretch <= e.value))
+                    result.failures.push_back("stretch: wanted <= " + fmt(e.value) +
+                                              ", got " + fmt(fin.stretch));
+                break;
+            case Expectation::Kind::nodes_ge:
+                if (!(static_cast<double>(fin.nodes) >= e.value))
+                    result.failures.push_back("nodes: wanted >= " + fmt(e.value) + ", got " +
+                                              std::to_string(fin.nodes));
+                break;
+        }
+    }
+}
+
+RunResult ScenarioRunner::run() {
+    if (ran_) throw std::runtime_error("ScenarioRunner::run: already executed");
+    ran_ = true;
+
+    RunResult result;
+    TraceHasher hasher;
+    Probes cadence_probes = parse_probes(spec_);
+    auto t0 = std::chrono::steady_clock::now();
+
+    std::size_t global_step = 0;
+    for (std::size_t phase_index = 0; phase_index < spec_.phases.size(); ++phase_index) {
+        const PhaseSpec& phase = spec_.phases[phase_index];
+        PhaseResult stats;
+        stats.name = phase.name;
+        stats.steps = phase.steps;
+        auto deleter = make_deleter(phase.deleter, registry_);
+        auto inserter = make_inserter(phase.inserter);
+
+        for (std::size_t step = 0; step < phase.steps; ++step) {
+            for (std::size_t b = 0; b < phase.burst; ++b) {
+                bool want_delete;
+                if (phase.delete_fraction >= 1.0) want_delete = true;
+                else if (phase.delete_fraction <= 0.0) want_delete = false;
+                else want_delete = rng_.chance(phase.delete_fraction);
+
+                bool did_event = false;
+                if (want_delete && session_.current().node_count() > phase.min_nodes) {
+                    graph::NodeId victim = deleter->pick(session_, rng_);
+                    if (victim != graph::invalid_node) {
+                        TraceEvent event;
+                        event.kind = TraceEvent::Kind::remove;
+                        event.step = global_step;
+                        event.phase = static_cast<std::uint32_t>(phase_index);
+                        event.node = victim;
+                        stats.victim_degree.add(
+                            static_cast<double>(session_.reference().degree(victim)));
+                        auto report = session_.delete_node(victim);
+                        stats.totals.accumulate(report);
+                        stats.rounds.add(static_cast<double>(report.rounds));
+                        ++stats.deletions;
+                        hasher.add(event);
+                        result.events.push_back(std::move(event));
+                        did_event = true;
+                    }
+                }
+                // Blocked or victimless deletes in a mixed phase fall
+                // through to an insert; deletion-only phases just skip.
+                if (!did_event && phase.delete_fraction < 1.0) {
+                    auto neighbors = inserter->pick_neighbors(session_, rng_);
+                    if (!neighbors.empty()) {
+                        TraceEvent event;
+                        event.kind = TraceEvent::Kind::insert;
+                        event.step = global_step;
+                        event.phase = static_cast<std::uint32_t>(phase_index);
+                        event.node = session_.insert_node(neighbors);
+                        event.neighbors = std::move(neighbors);
+                        ++stats.insertions;
+                        hasher.add(event);
+                        result.events.push_back(std::move(event));
+                        did_event = true;
+                    }
+                }
+                if (!did_event) ++stats.skipped;
+            }
+            ++global_step;
+            // The final sample (superset probes) covers the last step.
+            if (spec_.sample_every != 0 && global_step % spec_.sample_every == 0 &&
+                global_step != spec_.total_steps())
+                result.samples.push_back(
+                    take_sample(global_step, phase.name, cadence_probes));
+        }
+        result.phases.push_back(std::move(stats));
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+    result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    result.steps_done = global_step;
+
+    std::string last_phase = spec_.phases.empty() ? "" : spec_.phases.back().name;
+    result.final_sample = take_sample(global_step, last_phase, final_probes());
+    result.samples.push_back(result.final_sample);
+    result.trace_hash = hasher.value();
+    result.fingerprint = graph_fingerprint(session_.current());
+    evaluate_expectations(result);
+    return result;
+}
+
+RunResult ScenarioRunner::replay(const Trace& trace) {
+    if (ran_) throw std::runtime_error("ScenarioRunner::replay: already executed");
+    ran_ = true;
+
+    RunResult result;
+    TraceHasher hasher;
+    result.phases.resize(spec_.phases.size());
+    for (std::size_t i = 0; i < spec_.phases.size(); ++i) {
+        result.phases[i].name = spec_.phases[i].name;
+        result.phases[i].steps = spec_.phases[i].steps;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+
+    for (const TraceEvent& event : trace.events) {
+        PhaseResult* stats =
+            event.phase < result.phases.size() ? &result.phases[event.phase] : nullptr;
+        if (event.kind == TraceEvent::Kind::remove) {
+            if (!session_.current().has_node(event.node))
+                throw std::runtime_error(
+                    "replay diverged: step " + std::to_string(event.step) + " deletes node " +
+                    std::to_string(event.node) + " which is not alive");
+            if (stats != nullptr)
+                stats->victim_degree.add(
+                    static_cast<double>(session_.reference().degree(event.node)));
+            auto report = session_.delete_node(event.node);
+            if (stats != nullptr) {
+                stats->totals.accumulate(report);
+                stats->rounds.add(static_cast<double>(report.rounds));
+                ++stats->deletions;
+            }
+        } else {
+            graph::NodeId got = session_.insert_node(event.neighbors);
+            if (got != event.node)
+                throw std::runtime_error("replay diverged: step " + std::to_string(event.step) +
+                                         " inserted node " + std::to_string(got) +
+                                         ", trace recorded " + std::to_string(event.node));
+            if (stats != nullptr) ++stats->insertions;
+        }
+        hasher.add(event);
+        result.steps_done = event.step + 1;
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+    result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    result.events = trace.events;
+
+    std::string last_phase = spec_.phases.empty() ? "" : spec_.phases.back().name;
+    result.final_sample = take_sample(result.steps_done, last_phase, final_probes());
+    result.samples.push_back(result.final_sample);
+    result.trace_hash = hasher.value();
+    result.fingerprint = graph_fingerprint(session_.current());
+    evaluate_expectations(result);
+    return result;
+}
+
+}  // namespace xheal::scenario

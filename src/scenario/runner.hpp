@@ -1,0 +1,138 @@
+// ScenarioRunner — the engine layer of the scenario subsystem. Owns the
+// HealingSession, executes a spec's phased adversary schedule with
+// per-step metric sampling, records the deterministic event trace, and can
+// replay a recorded trace byte-for-byte from the same spec (trace.hpp).
+//
+// Randomness contract: one master Rng seeded with spec.seed drives topology
+// construction (spec-built constructor) and every adversary decision, in
+// schedule order; the healer's private randomness comes from its own seed
+// (defaulting to spec.seed); metric probes draw from an independent stream
+// so changing the sampling cadence never perturbs the event trace.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/trace.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace xheal::scenario {
+
+/// One row of the sampled metric time series. Probe-gated metrics default
+/// to NaN ("not sampled"); counters are always filled.
+struct MetricSample {
+    std::size_t step = 0;  ///< global step index (1-based: after this step)
+    std::string phase;
+    std::size_t nodes = 0;
+    std::size_t edges = 0;
+    std::size_t deletions = 0;   ///< cumulative
+    std::size_t insertions = 0;  ///< cumulative
+    std::size_t components = 0;  ///< probe: connected (0 = not sampled)
+    std::size_t max_degree = 0;  ///< probe: degree
+    double max_degree_ratio = std::nan("");   ///< probe: degree
+    double mean_degree_ratio = std::nan("");  ///< probe: degree
+    double worst_slack_ratio = std::nan("");  ///< probe: degree (Lemma 3 LHS)
+    double expansion = std::nan("");          ///< probe: expansion
+    double lambda2 = std::nan("");            ///< probe: lambda2
+    double stretch = std::nan("");            ///< probe: stretch
+
+    bool connected() const { return components == 1; }
+};
+
+/// Accounting for one schedule phase.
+struct PhaseResult {
+    std::string name;
+    std::size_t steps = 0;
+    std::size_t deletions = 0;
+    std::size_t insertions = 0;
+    std::size_t skipped = 0;  ///< events dropped (population floor / no pick)
+    core::RepairReport totals;
+    util::RunningStats rounds;          ///< per-deletion protocol rounds
+    util::RunningStats victim_degree;   ///< black degree of victims at deletion
+};
+
+struct RunResult {
+    std::vector<MetricSample> samples;  ///< cadence samples + final
+    MetricSample final_sample;          ///< always present (last of samples)
+    std::vector<PhaseResult> phases;
+    std::vector<TraceEvent> events;
+    std::uint64_t trace_hash = 0;
+    std::uint64_t fingerprint = 0;  ///< final healed graph
+    std::size_t steps_done = 0;
+    double seconds = 0.0;  ///< schedule execution wall time
+    /// Expectation failures ("metric: wanted X, got Y"); empty = PASS.
+    std::vector<std::string> failures;
+
+    bool passed() const { return failures.empty(); }
+    double steps_per_sec() const {
+        return seconds > 0.0 ? static_cast<double>(steps_done) / seconds : 0.0;
+    }
+    /// The run as a serializable trace (header + events + hashes).
+    Trace to_trace(const ScenarioSpec& spec) const;
+};
+
+class ScenarioRunner {
+public:
+    /// Build everything from the spec: topology (drawn from the master
+    /// Rng), healer, session.
+    explicit ScenarioRunner(const ScenarioSpec& spec);
+
+    /// Ported benches construct workloads with bespoke shared generators;
+    /// this overload adopts a prebuilt initial graph and ignores
+    /// spec.topology. The master Rng starts fresh at spec.seed.
+    ScenarioRunner(const ScenarioSpec& spec, graph::Graph initial);
+
+    /// Execute the full phase schedule. Call once per runner.
+    RunResult run();
+
+    /// Re-apply a recorded event stream instead of consulting the
+    /// adversary strategies; phase/metric accounting works as in run().
+    /// Throws std::runtime_error if an insert re-issues a different node id
+    /// than the trace recorded (spec/trace mismatch). The caller compares
+    /// the returned trace_hash and fingerprint against the trace's.
+    RunResult replay(const Trace& trace);
+
+    const ScenarioSpec& spec() const { return spec_; }
+    const core::HealingSession& session() const { return session_; }
+    /// Healer degree-overhead factor (1 for baselines).
+    std::size_t kappa() const { return kappa_; }
+    /// Cloud registry of xheal-family healers; nullptr otherwise.
+    const core::CloudRegistry* registry() const { return registry_; }
+
+private:
+    struct Probes {
+        bool connected = false;
+        bool degree = false;
+        bool expansion = false;
+        bool lambda2 = false;
+        bool stretch = false;
+    };
+
+    static Probes parse_probes(const ScenarioSpec& spec);
+
+    /// Append a sample of the probe-selected metrics (plus `extra` probes,
+    /// used for the final sample where expectations may need more).
+    MetricSample take_sample(std::size_t step, const std::string& phase,
+                             const Probes& probes);
+
+    /// Probes the final sample needs beyond the spec's list: one per
+    /// expectation kind.
+    Probes final_probes() const;
+
+    void evaluate_expectations(RunResult& result) const;
+
+    ScenarioSpec spec_;
+    util::Rng rng_;        ///< master: topology + adversary schedule
+    util::Rng probe_rng_;  ///< independent: metric sampling only
+    std::size_t kappa_ = 1;
+    const core::CloudRegistry* registry_ = nullptr;
+    core::HealingSession session_;
+    bool ran_ = false;
+};
+
+}  // namespace xheal::scenario

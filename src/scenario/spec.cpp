@@ -1,0 +1,285 @@
+#include "scenario/spec.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xheal::scenario {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+    throw std::runtime_error("spec line " + std::to_string(line_no) + ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::istringstream in(line);
+    std::string tok;
+    while (in >> tok) tokens.push_back(tok);
+    return tokens;
+}
+
+/// Split `k=v` (returns false when no '=' is present).
+bool split_kv(const std::string& tok, std::string& key, std::string& value) {
+    auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    key = tok.substr(0, eq);
+    value = tok.substr(eq + 1);
+    return true;
+}
+
+/// Component reference: `kind k1=v1 k2=v2 ...` from tokens[first...].
+ComponentSpec parse_component(const std::vector<std::string>& tokens, std::size_t first,
+                              std::size_t line_no) {
+    if (first >= tokens.size()) fail(line_no, "missing component kind");
+    ComponentSpec spec;
+    spec.kind = tokens[first];
+    for (std::size_t i = first + 1; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (!split_kv(tokens[i], key, value))
+            fail(line_no, "expected key=value, got '" + tokens[i] + "'");
+        spec.params[key] = value;
+    }
+    return spec;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+    char* end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        throw std::runtime_error(what + ": bad number '" + text + "'");
+    return v;
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+    char* end = nullptr;
+    std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        throw std::runtime_error(what + ": bad integer '" + text + "'");
+    return v;
+}
+
+double parse_double_or_fail(const std::string& text, const std::string& what,
+                            std::size_t line_no) {
+    try {
+        return parse_double(text, what);
+    } catch (const std::runtime_error& e) {
+        fail(line_no, e.what());
+    }
+}
+
+std::uint64_t parse_u64_or_fail(const std::string& text, const std::string& what,
+                                std::size_t line_no) {
+    try {
+        return parse_u64(text, what);
+    } catch (const std::runtime_error& e) {
+        fail(line_no, e.what());
+    }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t ComponentSpec::get_u64(const std::string& key, std::uint64_t fallback) const {
+    auto it = params.find(key);
+    if (it == params.end()) return fallback;
+    return parse_u64(it->second, kind + "." + key);
+}
+
+double ComponentSpec::get_double(const std::string& key, double fallback) const {
+    auto it = params.find(key);
+    if (it == params.end()) return fallback;
+    return parse_double(it->second, kind + "." + key);
+}
+
+bool ComponentSpec::get_bool(const std::string& key, bool fallback) const {
+    auto it = params.find(key);
+    if (it == params.end()) return fallback;
+    if (it->second == "true" || it->second == "1") return true;
+    if (it->second == "false" || it->second == "0") return false;
+    throw std::runtime_error(kind + "." + key + ": bad bool '" + it->second + "'");
+}
+
+std::string ComponentSpec::to_text() const {
+    std::string out = kind;
+    for (const auto& [k, v] : params) out += " " + k + "=" + v;
+    return out;
+}
+
+std::string Expectation::to_text() const {
+    switch (kind) {
+        case Kind::connected: return "expect connected";
+        case Kind::max_degree_ratio_le: return "expect max_degree_ratio <= " + std::to_string(value);
+        case Kind::expansion_ge: return "expect expansion >= " + std::to_string(value);
+        case Kind::lambda2_ge: return "expect lambda2 >= " + std::to_string(value);
+        case Kind::stretch_le: return "expect stretch <= " + std::to_string(value);
+        case Kind::nodes_ge: return "expect nodes >= " + std::to_string(value);
+    }
+    return "expect ?";
+}
+
+std::size_t ScenarioSpec::total_steps() const {
+    std::size_t total = 0;
+    for (const auto& p : phases) total += p.steps;
+    return total;
+}
+
+std::string ScenarioSpec::to_text() const {
+    std::ostringstream out;
+    out << "name " << name << "\n";
+    out << "seed " << seed << "\n";
+    out << "topology " << topology.to_text() << "\n";
+    out << "healer " << healer.to_text() << "\n";
+    if (!probes.empty()) {
+        out << "probes";
+        for (const auto& p : probes) out << " " << p;
+        out << "\n";
+    }
+    if (sample_every != 0) out << "sample_every " << sample_every << "\n";
+    if (stretch_samples != 8) out << "stretch_samples " << stretch_samples << "\n";
+    for (const auto& p : phases) {
+        out << "phase " << p.name << " steps=" << p.steps;
+        if (p.burst != 1) out << " burst=" << p.burst;
+        out << " delete_fraction=" << p.delete_fraction << " min_nodes=" << p.min_nodes;
+        out << " deleter=" << p.deleter.kind;
+        for (const auto& [k, v] : p.deleter.params) out << " deleter." << k << "=" << v;
+        out << " inserter=" << p.inserter.kind;
+        for (const auto& [k, v] : p.inserter.params) out << " inserter." << k << "=" << v;
+        out << "\n";
+    }
+    for (const auto& e : expectations) out << e.to_text() << "\n";
+    return out.str();
+}
+
+std::uint64_t ScenarioSpec::content_hash() const { return fnv1a64(to_text()); }
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+    ScenarioSpec spec;
+    spec.topology = ComponentSpec{};
+    spec.healer = ComponentSpec{};
+    bool saw_topology = false, saw_healer = false;
+
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos) line.resize(hash);
+        auto tokens = tokenize(line);
+        if (tokens.empty()) continue;
+        const std::string& directive = tokens[0];
+
+        if (directive == "name") {
+            if (tokens.size() != 2) fail(line_no, "name takes one token");
+            spec.name = tokens[1];
+        } else if (directive == "seed") {
+            if (tokens.size() != 2) fail(line_no, "seed takes one integer");
+            spec.seed = parse_u64_or_fail(tokens[1], "seed", line_no);
+        } else if (directive == "topology") {
+            spec.topology = parse_component(tokens, 1, line_no);
+            saw_topology = true;
+        } else if (directive == "healer") {
+            spec.healer = parse_component(tokens, 1, line_no);
+            saw_healer = true;
+        } else if (directive == "probes") {
+            for (std::size_t i = 1; i < tokens.size(); ++i) spec.probes.push_back(tokens[i]);
+        } else if (directive == "sample_every") {
+            if (tokens.size() != 2) fail(line_no, "sample_every takes one integer");
+            spec.sample_every = parse_u64_or_fail(tokens[1], "sample_every", line_no);
+        } else if (directive == "stretch_samples") {
+            if (tokens.size() != 2) fail(line_no, "stretch_samples takes one integer");
+            spec.stretch_samples = parse_u64_or_fail(tokens[1], "stretch_samples", line_no);
+        } else if (directive == "phase") {
+            if (tokens.size() < 2) fail(line_no, "phase needs a name");
+            PhaseSpec phase;
+            phase.name = tokens[1];
+            phase.deleter = ComponentSpec{"random", {}};
+            phase.inserter = ComponentSpec{"random-attach", {}};
+            for (std::size_t i = 2; i < tokens.size(); ++i) {
+                std::string key, value;
+                if (!split_kv(tokens[i], key, value))
+                    fail(line_no, "expected key=value, got '" + tokens[i] + "'");
+                if (key == "steps") {
+                    phase.steps = parse_u64_or_fail(value, "steps", line_no);
+                } else if (key == "burst") {
+                    phase.burst = parse_u64_or_fail(value, "burst", line_no);
+                    if (phase.burst == 0) fail(line_no, "burst must be >= 1");
+                } else if (key == "delete_fraction") {
+                    phase.delete_fraction = parse_double_or_fail(value, "delete_fraction", line_no);
+                } else if (key == "min_nodes") {
+                    phase.min_nodes = parse_u64_or_fail(value, "min_nodes", line_no);
+                } else if (key == "deleter") {
+                    phase.deleter.kind = value;
+                } else if (key == "inserter") {
+                    phase.inserter.kind = value;
+                } else if (key.rfind("deleter.", 0) == 0) {
+                    phase.deleter.params[key.substr(8)] = value;
+                } else if (key.rfind("inserter.", 0) == 0) {
+                    phase.inserter.params[key.substr(9)] = value;
+                } else if (key == "k") {
+                    // Sugar: bare k applies to the inserter's attach count.
+                    phase.inserter.params["k"] = value;
+                } else {
+                    fail(line_no, "unknown phase key '" + key + "'");
+                }
+            }
+            if (phase.steps == 0) fail(line_no, "phase needs steps=N (N >= 1)");
+            spec.phases.push_back(std::move(phase));
+        } else if (directive == "expect") {
+            if (tokens.size() < 2) fail(line_no, "expect needs a metric");
+            Expectation e;
+            const std::string& metric = tokens[1];
+            if (metric == "connected") {
+                if (tokens.size() != 2) fail(line_no, "expect connected takes no value");
+                e.kind = Expectation::Kind::connected;
+            } else {
+                // `expect metric <= value` / `expect metric >= value`.
+                if (tokens.size() != 4) fail(line_no, "expect " + metric + " needs <op> <value>");
+                const std::string& op = tokens[2];
+                e.value = parse_double_or_fail(tokens[3], "expect " + metric, line_no);
+                if (metric == "max_degree_ratio" && op == "<=") {
+                    e.kind = Expectation::Kind::max_degree_ratio_le;
+                } else if (metric == "expansion" && op == ">=") {
+                    e.kind = Expectation::Kind::expansion_ge;
+                } else if (metric == "lambda2" && op == ">=") {
+                    e.kind = Expectation::Kind::lambda2_ge;
+                } else if (metric == "stretch" && op == "<=") {
+                    e.kind = Expectation::Kind::stretch_le;
+                } else if (metric == "nodes" && op == ">=") {
+                    e.kind = Expectation::Kind::nodes_ge;
+                } else {
+                    fail(line_no, "unsupported expectation '" + metric + " " + op + "'");
+                }
+            }
+            spec.expectations.push_back(e);
+        } else {
+            fail(line_no, "unknown directive '" + directive + "'");
+        }
+    }
+
+    if (!saw_topology) throw std::runtime_error("spec: missing 'topology' line");
+    if (!saw_healer) throw std::runtime_error("spec: missing 'healer' line");
+    if (spec.phases.empty()) throw std::runtime_error("spec: needs at least one 'phase'");
+    return spec;
+}
+
+ScenarioSpec ScenarioSpec::parse_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open spec file: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str());
+}
+
+}  // namespace xheal::scenario

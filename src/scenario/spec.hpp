@@ -1,0 +1,116 @@
+// Scenario specs: the declarative description of one experiment run
+// (DESIGN.md decision 5 — scenarios are data).
+//
+// A ScenarioSpec names an initial topology, a healer, and an adversary
+// *schedule* of phases — each phase an (insertion strategy, deletion
+// strategy, step count, delete fraction, burst size) tuple — plus the seed
+// and the metric probes to sample. Components are referenced by registry
+// key (registry.hpp), so a spec carries no code. Specs are constructible in
+// code and parseable from a small line-oriented `key value k=v...` text
+// format:
+//
+//   # phased churn against xheal
+//   name phased-churn
+//   seed 42
+//   topology random-regular n=64 d=4
+//   healer xheal d=2
+//   probes degree expansion
+//   sample_every 20
+//   phase warmup steps=60 delete_fraction=0.3 deleter=random k=3 min_nodes=8
+//   phase assault steps=30 delete_fraction=1 deleter=max-degree
+//   expect connected
+//   expect max_degree_ratio <= 12
+//
+// `to_text()` emits the same grammar, and parse(to_text()) round-trips.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xheal::scenario {
+
+/// One registry-keyed component reference: a kind plus string parameters.
+/// Typed accessors parse on demand and throw std::runtime_error on
+/// malformed values, naming the offending key.
+struct ComponentSpec {
+    std::string kind;
+    std::map<std::string, std::string> params;
+
+    bool has(const std::string& key) const { return params.count(key) != 0; }
+    std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+    double get_double(const std::string& key, double fallback) const;
+    bool get_bool(const std::string& key, bool fallback) const;
+
+    /// `kind k1=v1 k2=v2` with params in key order.
+    std::string to_text() const;
+};
+
+/// One phase of the adversary schedule. delete_fraction semantics:
+///   >= 1  — deletion-only (no coin flipped, matching the classic
+///           "p deletions" benches);
+///   <= 0  — insertion-only (no coin flipped);
+///   else  — per event, flip chance(delete_fraction); a delete that is
+///           blocked by min_nodes (or yields no victim) becomes an insert.
+struct PhaseSpec {
+    std::string name = "phase";
+    std::size_t steps = 0;
+    std::size_t burst = 1;  ///< adversary events per step
+    double delete_fraction = 0.5;
+    std::size_t min_nodes = 4;  ///< never delete at or below this population
+    ComponentSpec deleter{"random", {}};
+    ComponentSpec inserter{"random-attach", {{"k", "3"}}};
+};
+
+/// Terminal assertion on the final metric sample; `xheal_run` turns these
+/// into the PASS/FAIL verdict.
+struct Expectation {
+    enum class Kind {
+        connected,            ///< final graph is one component
+        max_degree_ratio_le,  ///< max_v deg_G/deg_G' <= value
+        expansion_ge,         ///< edge-expansion estimate >= value
+        lambda2_ge,           ///< algebraic connectivity >= value
+        stretch_le,           ///< sampled stretch <= value
+        nodes_ge,             ///< final population >= value
+    };
+    Kind kind = Kind::connected;
+    double value = 0.0;
+
+    std::string to_text() const;
+};
+
+struct ScenarioSpec {
+    std::string name = "unnamed";
+    std::uint64_t seed = 1;
+    ComponentSpec topology{"random-regular", {{"n", "64"}, {"d", "4"}}};
+    ComponentSpec healer{"xheal", {}};
+    /// Extra metric probes sampled every `sample_every` steps (and always at
+    /// the end): subset of {"connected", "degree", "expansion", "lambda2",
+    /// "stretch"}. Population/edge counts are always recorded.
+    std::vector<std::string> probes;
+    /// 0 = only the final sample.
+    std::size_t sample_every = 0;
+    /// Stretch probe sample count (paper metric is sampled-source BFS).
+    std::size_t stretch_samples = 8;
+    std::vector<PhaseSpec> phases;
+    std::vector<Expectation> expectations;
+
+    /// Sum of phase step counts.
+    std::size_t total_steps() const;
+
+    /// Canonical text form (parse round-trips it).
+    std::string to_text() const;
+    /// FNV-1a 64 over the canonical text — names a spec in traces/reports.
+    std::uint64_t content_hash() const;
+
+    /// Parse the grammar above. Throws std::runtime_error with a
+    /// line-numbered message on malformed input.
+    static ScenarioSpec parse(const std::string& text);
+    static ScenarioSpec parse_file(const std::string& path);
+};
+
+/// FNV-1a 64-bit over a byte string (shared by spec/trace hashing).
+std::uint64_t fnv1a64(const std::string& bytes);
+
+}  // namespace xheal::scenario

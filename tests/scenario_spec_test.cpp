@@ -1,0 +1,135 @@
+// Spec-layer tests: grammar parsing, canonical round-trip, typed parameter
+// access, and registry factory coverage (every listed name constructs).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+
+using namespace xheal;
+using scenario::ComponentSpec;
+using scenario::Expectation;
+using scenario::ScenarioSpec;
+
+namespace {
+
+const char* kSample = R"(# phased churn against xheal
+name phased-churn
+seed 42
+topology random-regular n=64 d=4
+healer xheal d=2
+probes degree expansion
+sample_every 20
+phase warmup steps=60 delete_fraction=0.3 deleter=random inserter=random-attach k=3 min_nodes=8
+phase assault steps=30 delete_fraction=1 deleter=max-degree burst=2
+expect connected
+expect max_degree_ratio <= 12
+)";
+
+}  // namespace
+
+TEST(ScenarioSpec, ParsesTheDocumentedGrammar) {
+    auto spec = ScenarioSpec::parse(kSample);
+    EXPECT_EQ(spec.name, "phased-churn");
+    EXPECT_EQ(spec.seed, 42u);
+    EXPECT_EQ(spec.topology.kind, "random-regular");
+    EXPECT_EQ(spec.topology.get_u64("n", 0), 64u);
+    EXPECT_EQ(spec.healer.kind, "xheal");
+    EXPECT_EQ(spec.healer.get_u64("d", 0), 2u);
+    EXPECT_EQ(spec.probes, (std::vector<std::string>{"degree", "expansion"}));
+    EXPECT_EQ(spec.sample_every, 20u);
+
+    ASSERT_EQ(spec.phases.size(), 2u);
+    EXPECT_EQ(spec.phases[0].name, "warmup");
+    EXPECT_EQ(spec.phases[0].steps, 60u);
+    EXPECT_DOUBLE_EQ(spec.phases[0].delete_fraction, 0.3);
+    EXPECT_EQ(spec.phases[0].min_nodes, 8u);
+    EXPECT_EQ(spec.phases[0].deleter.kind, "random");
+    EXPECT_EQ(spec.phases[0].inserter.kind, "random-attach");
+    EXPECT_EQ(spec.phases[0].inserter.get_u64("k", 0), 3u);  // bare-k sugar
+    EXPECT_EQ(spec.phases[1].deleter.kind, "max-degree");
+    EXPECT_EQ(spec.phases[1].burst, 2u);
+    EXPECT_EQ(spec.total_steps(), 90u);
+
+    ASSERT_EQ(spec.expectations.size(), 2u);
+    EXPECT_EQ(spec.expectations[0].kind, Expectation::Kind::connected);
+    EXPECT_EQ(spec.expectations[1].kind, Expectation::Kind::max_degree_ratio_le);
+    EXPECT_DOUBLE_EQ(spec.expectations[1].value, 12.0);
+}
+
+TEST(ScenarioSpec, CanonicalTextRoundTrips) {
+    auto spec = ScenarioSpec::parse(kSample);
+    std::string canonical = spec.to_text();
+    auto reparsed = ScenarioSpec::parse(canonical);
+    EXPECT_EQ(reparsed.to_text(), canonical);
+    EXPECT_EQ(reparsed.content_hash(), spec.content_hash());
+}
+
+TEST(ScenarioSpec, RejectsMalformedInput) {
+    EXPECT_THROW(ScenarioSpec::parse("bogus directive\n"), std::runtime_error);
+    EXPECT_THROW(ScenarioSpec::parse("topology star\nhealer xheal\n"),
+                 std::runtime_error);  // no phase
+    EXPECT_THROW(ScenarioSpec::parse("healer xheal\nphase p steps=1\n"),
+                 std::runtime_error);  // no topology
+    EXPECT_THROW(
+        ScenarioSpec::parse(
+            "topology star\nhealer xheal\nphase p steps=1\nexpect expansion <= 1\n"),
+        std::runtime_error);  // expansion only supports >=
+    EXPECT_THROW(ScenarioSpec::parse("topology star\nhealer xheal\nphase p steps=1 "
+                                     "frobnicate=2\n"),
+                 std::runtime_error);  // unknown phase key
+    EXPECT_THROW(ScenarioSpec::parse("seed twelve\ntopology star\nhealer xheal\n"
+                                     "phase p steps=1\n"),
+                 std::runtime_error);  // bad integer
+}
+
+TEST(ScenarioSpec, TypedParamAccessors) {
+    ComponentSpec c{"x", {{"n", "7"}, {"p", "0.25"}, {"flag", "true"}}};
+    EXPECT_EQ(c.get_u64("n", 0), 7u);
+    EXPECT_DOUBLE_EQ(c.get_double("p", 0.0), 0.25);
+    EXPECT_TRUE(c.get_bool("flag", false));
+    EXPECT_EQ(c.get_u64("absent", 9u), 9u);
+    ComponentSpec bad{"x", {{"n", "zap"}}};
+    EXPECT_THROW(bad.get_u64("n", 0), std::runtime_error);
+}
+
+TEST(ScenarioRegistry, EveryListedTopologyConstructs) {
+    util::Rng rng(3);
+    for (const auto& kind : scenario::topology_names()) {
+        ComponentSpec spec{kind, {}};
+        auto g = scenario::make_topology(spec, rng);
+        EXPECT_GT(g.node_count(), 0u) << kind;
+    }
+    EXPECT_THROW(scenario::make_topology(ComponentSpec{"moebius", {}}, rng),
+                 std::runtime_error);
+}
+
+TEST(ScenarioRegistry, EveryListedHealerConstructs) {
+    for (const auto& kind : scenario::healer_names()) {
+        auto handle = scenario::make_healer(ComponentSpec{kind, {}}, 5);
+        ASSERT_NE(handle.healer, nullptr) << kind;
+        EXPECT_GE(handle.kappa, 1u);
+        bool xheal_family = kind == "xheal" || kind == "xheal-dist";
+        EXPECT_EQ(handle.registry != nullptr, xheal_family) << kind;
+    }
+    EXPECT_THROW(scenario::make_healer(ComponentSpec{"prayer", {}}, 5),
+                 std::runtime_error);
+}
+
+TEST(ScenarioRegistry, EveryListedStrategyConstructs) {
+    auto xheal = scenario::make_healer(ComponentSpec{"xheal", {}}, 5);
+    for (const auto& kind : scenario::deleter_names()) {
+        auto deleter = scenario::make_deleter(ComponentSpec{kind, {}}, xheal.registry);
+        ASSERT_NE(deleter, nullptr) << kind;
+        EXPECT_EQ(deleter->name(), kind);
+    }
+    // bridge-hunter needs a cloud registry.
+    EXPECT_THROW(scenario::make_deleter(ComponentSpec{"bridge-hunter", {}}, nullptr),
+                 std::runtime_error);
+    for (const auto& kind : scenario::inserter_names()) {
+        auto inserter = scenario::make_inserter(ComponentSpec{kind, {{"k", "2"}}});
+        ASSERT_NE(inserter, nullptr) << kind;
+        EXPECT_EQ(inserter->name(), kind);
+    }
+}

@@ -1,0 +1,232 @@
+// xheal_run — the one CLI driver for declarative scenarios.
+//
+//   xheal_run run <spec.scn> [more specs...] [--trace FILE] [--json FILE]
+//       Execute each spec's phase schedule; print per-phase accounting, the
+//       sampled metric series, and a greppable "VERDICT scenario-<name>
+//       PASS|FAIL" line per spec (FAIL when an `expect` clause is violated).
+//       --trace (single spec only) writes the deterministic JSONL event
+//       trace; --json appends a BENCH_scenarios.json steps/sec report.
+//   xheal_run replay <spec.scn> <trace.jsonl>
+//       Re-apply a recorded trace against a fresh session from the same
+//       spec and verify trace hash + final-graph fingerprint byte-for-byte.
+//   xheal_run print <spec.scn>
+//       Parse and echo the canonical spec text (round-trip check).
+//   xheal_run list
+//       Show every registry key the spec grammar can name.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "util/table.hpp"
+
+using namespace xheal;
+
+namespace {
+
+int usage() {
+    std::cerr << "usage:\n"
+              << "  xheal_run run <spec.scn>... [--trace FILE] [--json FILE]\n"
+              << "  xheal_run replay <spec.scn> <trace.jsonl>\n"
+              << "  xheal_run print <spec.scn>\n"
+              << "  xheal_run list\n";
+    return 2;
+}
+
+std::string fmt_or_dash(double v, int precision) {
+    return std::isnan(v) ? std::string("-") : util::format_double(v, precision);
+}
+
+void print_samples(const scenario::RunResult& result) {
+    util::Table table({"step", "phase", "nodes", "edges", "comps", "max-deg-ratio",
+                       "h(G)~", "lambda2", "stretch"});
+    for (const auto& s : result.samples) {
+        table.row()
+            .add(s.step)
+            .add(s.phase)
+            .add(s.nodes)
+            .add(s.edges)
+            .add(s.components == 0 ? std::string("-") : std::to_string(s.components))
+            .add(fmt_or_dash(s.max_degree_ratio, 2))
+            .add(fmt_or_dash(s.expansion, 3))
+            .add(fmt_or_dash(s.lambda2, 4))
+            .add(fmt_or_dash(s.stretch, 2));
+    }
+    table.print(std::cout);
+}
+
+void print_phases(const scenario::RunResult& result) {
+    util::Table table({"phase", "steps", "deletions", "insertions", "skipped",
+                       "edges-added", "combines", "mean rounds", "messages"});
+    for (const auto& p : result.phases) {
+        table.row()
+            .add(p.name)
+            .add(p.steps)
+            .add(p.deletions)
+            .add(p.insertions)
+            .add(p.skipped)
+            .add(p.totals.edges_added)
+            .add(p.totals.combines)
+            .add(p.rounds.mean(), 2)
+            .add(static_cast<std::size_t>(p.totals.messages));
+    }
+    table.print(std::cout);
+}
+
+struct JsonRow {
+    std::string scenario;
+    std::size_t steps = 0;
+    std::size_t events = 0;
+    double seconds = 0.0;
+    double steps_per_sec = 0.0;
+    bool pass = false;
+};
+
+int write_json(const std::string& path, const std::vector<JsonRow>& rows) {
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot open " << path << "\n";
+        return 1;
+    }
+    out << "{\n  \"schema\": \"xheal-bench-scenarios-v1\",\n"
+        << "  \"note\": \"scenario engine throughput: adversary+healer steps/sec per "
+           "bundled spec\",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        out << "    {\"scenario\": \"" << rows[i].scenario << "\", \"steps\": "
+            << rows[i].steps << ", \"events\": " << rows[i].events
+            << ", \"seconds\": " << util::format_double(rows[i].seconds, 6)
+            << ", \"steps_per_sec\": "
+            << static_cast<std::uint64_t>(rows[i].steps_per_sec)
+            << ", \"pass\": " << (rows[i].pass ? "true" : "false") << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+    return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+    std::vector<std::string> spec_paths;
+    std::string trace_path, json_path;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--trace") {
+            if (++i >= args.size()) return usage();
+            trace_path = args[i];
+        } else if (args[i] == "--json") {
+            if (++i >= args.size()) return usage();
+            json_path = args[i];
+        } else {
+            spec_paths.push_back(args[i]);
+        }
+    }
+    if (spec_paths.empty()) return usage();
+    if (!trace_path.empty() && spec_paths.size() != 1) {
+        std::cerr << "--trace requires exactly one spec\n";
+        return 2;
+    }
+
+    bool all_pass = true;
+    std::vector<JsonRow> json_rows;
+    for (const std::string& path : spec_paths) {
+        auto spec = scenario::ScenarioSpec::parse_file(path);
+        scenario::ScenarioRunner runner(spec);
+        auto result = runner.run();
+
+        std::cout << "scenario " << spec.name << " (seed " << spec.seed << ", healer "
+                  << spec.healer.kind << ", " << result.steps_done << " steps, "
+                  << result.events.size() << " events, "
+                  << util::format_double(result.steps_per_sec(), 0) << " steps/sec)\n\n";
+        print_phases(result);
+        std::cout << "\n";
+        print_samples(result);
+        for (const auto& failure : result.failures)
+            std::cout << "expectation failed — " << failure << "\n";
+        std::cout << "VERDICT scenario-" << spec.name << " "
+                  << (result.passed() ? "PASS" : "FAIL") << " — " << result.events.size()
+                  << " events, trace 0x" << std::hex << result.trace_hash
+                  << ", fingerprint 0x" << result.fingerprint << std::dec << "\n\n";
+        all_pass = all_pass && result.passed();
+
+        if (!trace_path.empty()) {
+            scenario::write_trace_file(trace_path, result.to_trace(spec));
+            std::cout << "wrote trace " << trace_path << "\n";
+        }
+        json_rows.push_back({spec.name, result.steps_done, result.events.size(),
+                             result.seconds, result.steps_per_sec(), result.passed()});
+    }
+    if (!json_path.empty() && write_json(json_path, json_rows) != 0) return 1;
+    return all_pass ? 0 : 1;
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+    if (args.size() != 2) return usage();
+    auto spec = scenario::ScenarioSpec::parse_file(args[0]);
+    auto trace = scenario::read_trace_file(args[1]);
+    if (trace.spec_hash != spec.content_hash())
+        std::cout << "note: spec content hash differs from the trace header "
+                     "(spec edited since recording?)\n";
+    scenario::ScenarioRunner runner(spec);
+    auto result = runner.replay(trace);
+
+    bool hash_ok = result.trace_hash == trace.trace_hash;
+    bool fp_ok = result.fingerprint == trace.fingerprint;
+    std::cout << "replayed " << trace.events.size() << " events of scenario "
+              << spec.name << "\n"
+              << "  trace hash:  recorded 0x" << std::hex << trace.trace_hash
+              << ", replayed 0x" << result.trace_hash << (hash_ok ? " (match)" : " (MISMATCH)")
+              << "\n  fingerprint: recorded 0x" << trace.fingerprint << ", replayed 0x"
+              << result.fingerprint << (fp_ok ? " (match)" : " (MISMATCH)") << std::dec
+              << "\n";
+    std::cout << "VERDICT replay-" << spec.name << " "
+              << (hash_ok && fp_ok ? "PASS" : "FAIL")
+              << " — byte-for-byte deterministic replay\n";
+    return hash_ok && fp_ok ? 0 : 1;
+}
+
+int cmd_print(const std::vector<std::string>& args) {
+    if (args.size() != 1) return usage();
+    std::cout << scenario::ScenarioSpec::parse_file(args[0]).to_text();
+    return 0;
+}
+
+int cmd_list() {
+    auto print_list = [](const char* title, const std::vector<std::string>& names) {
+        std::cout << title << ":";
+        for (const auto& n : names) std::cout << " " << n;
+        std::cout << "\n";
+    };
+    print_list("topologies", scenario::topology_names());
+    print_list("healers   ", scenario::healer_names());
+    print_list("deleters  ", scenario::deleter_names());
+    print_list("inserters ", scenario::inserter_names());
+    print_list("probes    ", {"connected", "degree", "expansion", "lambda2", "stretch"});
+    std::cout << "\nspec grammar (see DESIGN.md decision 5):\n"
+              << "  name <id> | seed <n> | topology <kind> k=v... | healer <kind> k=v...\n"
+              << "  probes <name>... | sample_every <n> | stretch_samples <n>\n"
+              << "  phase <id> steps=N [burst=B] [delete_fraction=F] [min_nodes=M]\n"
+              << "        [deleter=<kind>] [inserter=<kind>] [k=K] [deleter.x=v] "
+                 "[inserter.x=v]\n"
+              << "  expect connected | expect <metric> <=|>= <value>\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (command == "run") return cmd_run(args);
+        if (command == "replay") return cmd_replay(args);
+        if (command == "print") return cmd_print(args);
+        if (command == "list") return cmd_list();
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
