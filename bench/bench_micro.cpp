@@ -21,8 +21,10 @@
 #include "core/xheal_healer.hpp"
 #include "expander/hgraph.hpp"
 #include "graph/algorithms.hpp"
+#include "spectral/csr.hpp"
 #include "spectral/expansion.hpp"
 #include "spectral/laplacian.hpp"
+#include "spectral/probes.hpp"
 #include "workload/generators.hpp"
 
 using namespace xheal;
@@ -94,6 +96,45 @@ void BM_Lambda2Lanczos(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_Lambda2Lanczos)->Arg(512)->Arg(2048);
+
+// ---------------------------------------------------------------------------
+// Sparse probe layer (CSR snapshot + matrix-free Lanczos + budgeted BFS
+// stretch): the probes behind n=1e5 scenarios like dex_scale.scn.
+// ---------------------------------------------------------------------------
+
+void BM_CsrSnapshotBuild(benchmark::State& state) {
+    util::Rng rng(21);
+    auto g = workload::make_hgraph_graph(static_cast<std::size_t>(state.range(0)), 3, rng);
+    spectral::CsrGraph csr;
+    for (auto _ : state) {
+        csr.build(g);
+        benchmark::DoNotOptimize(csr.edge_count());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CsrSnapshotBuild)->Arg(4096)->Arg(65536);
+
+void BM_Lambda2SparseProbe(benchmark::State& state) {
+    util::Rng rng(22);
+    auto g = workload::make_hgraph_graph(static_cast<std::size_t>(state.range(0)), 3, rng);
+    spectral::ProbeEngine engine;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.lambda2(g));
+    }
+}
+BENCHMARK(BM_Lambda2SparseProbe)->Arg(4096)->Arg(65536);
+
+void BM_SampledStretchProbe(benchmark::State& state) {
+    util::Rng rng(23);
+    auto g = workload::make_hgraph_graph(static_cast<std::size_t>(state.range(0)), 3, rng);
+    spectral::ProbeEngine engine;
+    util::Rng probe_rng(24);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.sampled_stretch(g, g, 8, probe_rng));
+    }
+}
+BENCHMARK(BM_SampledStretchProbe)->Arg(4096)->Arg(65536);
 
 void BM_ExactExpansion(benchmark::State& state) {
     util::Rng rng(7);

@@ -78,9 +78,11 @@ NodeId BridgeHunterDeletion::pick(const HealingSession& session, util::Rng& rng)
     // a free node, steering the healer toward the combine path.
     NodeId best = graph::invalid_node;
     std::size_t best_score = 0;
+    std::vector<graph::ColorId> prim;  // reused across the scan: one buffer per pick
     for (NodeId v : g.nodes()) {
         if (registry_->is_free(v)) continue;
-        std::size_t score = 1 + registry_->primary_clouds_of(v).size();
+        registry_->primary_clouds_of(v, prim);
+        std::size_t score = 1 + prim.size();
         if (best == graph::invalid_node || score > best_score) {
             best = v;
             best_score = score;
@@ -95,7 +97,16 @@ std::vector<NodeId> RandomAttach::pick_neighbors(const HealingSession& session,
     const auto& alive = session.alive_pool();
     if (alive.empty()) return {};
     std::size_t k = std::min(k_, alive.size());
-    auto chosen = rng.sample(alive, k);
+    // k distinct uniform picks by rejection: k is a small constant, so this
+    // is O(k^2) expected instead of the full pool copy + shuffle that
+    // rng.sample() performs (which dominated stepping at n = 1e5).
+    std::vector<NodeId> chosen;
+    chosen.reserve(k);
+    while (chosen.size() < k) {
+        NodeId v = alive[rng.index(alive.size())];
+        if (std::find(chosen.begin(), chosen.end(), v) == chosen.end())
+            chosen.push_back(v);
+    }
     std::sort(chosen.begin(), chosen.end());
     return chosen;
 }

@@ -9,7 +9,7 @@
 // bridges (paper Section 3).
 #pragma once
 
-#include <set>
+#include <algorithm>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -17,6 +17,7 @@
 
 #include "expander/cloud_topology.hpp"
 #include "graph/types.hpp"
+#include "util/sorted_vec.hpp"
 
 namespace xheal::core {
 
@@ -30,8 +31,22 @@ struct Cloud {
     expander::CloudTopology topology;
 
     /// Mirror of the color claims this cloud currently holds in the network
-    /// graph (pairs normalized u < v). Kept in lock-step by CloudRegistry.
-    std::set<std::pair<graph::NodeId, graph::NodeId>> claimed;
+    /// graph: pairs normalized u < v, sorted ascending. Kept in lock-step by
+    /// CloudRegistry (a flat vector so steady-state claim churn reuses
+    /// capacity instead of allocating tree nodes).
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> claimed;
+
+    bool has_claim(graph::NodeId u, graph::NodeId v) const {
+        return util::sorted_contains(claimed, {std::min(u, v), std::max(u, v)});
+    }
+    /// Insert into the sorted mirror; returns false if already present.
+    bool add_claim(graph::NodeId u, graph::NodeId v) {
+        return util::sorted_insert(claimed, {std::min(u, v), std::max(u, v)});
+    }
+    /// Erase from the sorted mirror; returns false if absent.
+    bool drop_claim(graph::NodeId u, graph::NodeId v) {
+        return util::sorted_erase(claimed, {std::min(u, v), std::max(u, v)});
+    }
 
     /// Secondary clouds only: which primary cloud each bridge member
     /// represents; invalid_color for bridges that entered as singleton units

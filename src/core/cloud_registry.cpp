@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/expects.hpp"
+#include "util/sorted_vec.hpp"
 
 namespace xheal::core {
 
@@ -27,7 +28,7 @@ ColorId CloudRegistry::create_cloud(Graph& g, CloudKind kind,
     ColorId color = next_color_++;
     auto cloud = std::make_unique<Cloud>(
         color, kind, expander::CloudTopology(members, d_, rng));
-    for (NodeId v : cloud->members_sorted()) register_membership(v, color);
+    for (NodeId v : cloud->topology.members()) register_membership(v, color);
     Cloud& ref = *cloud;
     clouds_.emplace(color, std::move(cloud));
     sync_claims(g, ref, claims_added, nullptr);
@@ -44,7 +45,7 @@ void CloudRegistry::destroy_cloud(Graph& g, ColorId color, std::size_t* claims_r
             if (claims_removed != nullptr) ++*claims_removed;
         }
     }
-    for (NodeId v : cloud->members_sorted()) unregister_membership(v, color);
+    for (NodeId v : cloud->topology.members()) unregister_membership(v, color);
     clouds_.erase(color);
 }
 
@@ -57,26 +58,27 @@ NodeId CloudRegistry::remove_member(Graph& g, ColorId color, NodeId v, util::Rng
 
     // Purge claims that touch v. If v is still in the graph the claims must
     // be physically released; if the adversary already deleted v the edges
-    // are gone and only the mirror set needs cleaning.
-    for (auto it = cloud->claimed.begin(); it != cloud->claimed.end();) {
+    // are gone and only the mirror set needs cleaning. In-place compaction:
+    // no allocation.
+    auto keep = cloud->claimed.begin();
+    for (auto it = cloud->claimed.begin(); it != cloud->claimed.end(); ++it) {
         if (it->first == v || it->second == v) {
             if (!deleted_from_graph) {
                 g.remove_color_claim(it->first, it->second, color);
                 if (claims_removed != nullptr) ++*claims_removed;
             }
-            it = cloud->claimed.erase(it);
         } else {
-            ++it;
+            *keep++ = *it;
         }
     }
+    cloud->claimed.erase(keep, cloud->claimed.end());
     unregister_membership(v, color);
     cloud->bridge_assoc.erase(v);
 
     if (cloud->size() <= 2) {
         // Dissolve: fewer than 2 members remain after v leaves.
-        auto members = cloud->members_sorted();
         NodeId survivor = graph::invalid_node;
-        for (NodeId m : members) {
+        for (NodeId m : cloud->topology.members()) {
             if (m != v) survivor = m;
         }
         // All remaining claims involve v only (a 2-member cloud has one
@@ -92,12 +94,19 @@ NodeId CloudRegistry::remove_member(Graph& g, ColorId color, NodeId v, util::Rng
         return survivor;
     }
 
-    cloud->topology.remove(v, rng);
+    delta_.clear();
+    cloud->topology.remove(v, rng, &delta_);
+    bool resync = delta_.full_resync;
     if (rebuild_on_half_loss_ && cloud->topology.needs_rebuild()) {
         cloud->topology.rebuild(rng);
         ++cloud->rebuild_count;
+        resync = true;
     }
-    sync_claims(g, *cloud, claims_added, claims_removed);
+    if (resync) {
+        sync_claims(g, *cloud, claims_added, claims_removed);
+    } else {
+        apply_splice(g, *cloud, claims_added, claims_removed);
+    }
     if (cloud->leader == v || cloud->vice_leader == v) fix_leadership(*cloud, rng);
     return graph::invalid_node;
 }
@@ -108,9 +117,14 @@ void CloudRegistry::insert_member(Graph& g, ColorId color, NodeId v, util::Rng& 
     XHEAL_EXPECTS(cloud != nullptr);
     XHEAL_EXPECTS(g.has_node(v));
     XHEAL_EXPECTS(!cloud->has_member(v));
-    cloud->topology.insert(v, rng);
+    delta_.clear();
+    cloud->topology.insert(v, rng, &delta_);
     register_membership(v, color);
-    sync_claims(g, *cloud, claims_added, claims_removed);
+    if (delta_.full_resync) {
+        sync_claims(g, *cloud, claims_added, claims_removed);
+    } else {
+        apply_splice(g, *cloud, claims_added, claims_removed);
+    }
 }
 
 Cloud* CloudRegistry::find(ColorId color) {
@@ -123,21 +137,24 @@ const Cloud* CloudRegistry::find(ColorId color) const {
     return it == clouds_.end() ? nullptr : it->second.get();
 }
 
-std::vector<ColorId> CloudRegistry::primary_clouds_of(NodeId v) const {
-    std::vector<ColorId> out;
-    auto it = memberships_.find(v);
-    if (it == memberships_.end()) return out;
-    for (ColorId c : it->second) {
+void CloudRegistry::primary_clouds_of(NodeId v, std::vector<ColorId>& out) const {
+    out.clear();
+    if (v >= memberships_.size()) return;
+    for (ColorId c : memberships_[v]) {
         const Cloud* cloud = find(c);
         if (cloud != nullptr && cloud->kind == CloudKind::primary) out.push_back(c);
-    }
-    return out;  // std::set iteration is already ascending
+    }  // memberships_[v] is sorted, so out is ascending
+}
+
+std::vector<ColorId> CloudRegistry::primary_clouds_of(NodeId v) const {
+    std::vector<ColorId> out;
+    primary_clouds_of(v, out);
+    return out;
 }
 
 std::optional<ColorId> CloudRegistry::secondary_cloud_of(NodeId v) const {
-    auto it = memberships_.find(v);
-    if (it == memberships_.end()) return std::nullopt;
-    for (ColorId c : it->second) {
+    if (v >= memberships_.size()) return std::nullopt;
+    for (ColorId c : memberships_[v]) {
         const Cloud* cloud = find(c);
         if (cloud != nullptr && cloud->kind == CloudKind::secondary) return c;
     }
@@ -148,7 +165,7 @@ std::vector<NodeId> CloudRegistry::free_members_of(ColorId color) const {
     const Cloud* cloud = find(color);
     XHEAL_EXPECTS(cloud != nullptr);
     std::vector<NodeId> out;
-    for (NodeId v : cloud->members_sorted()) {
+    for (NodeId v : cloud->topology.members()) {
         if (is_free(v)) out.push_back(v);
     }
     return out;
@@ -163,34 +180,48 @@ std::vector<ColorId> CloudRegistry::colors() const {
 }
 
 bool CloudRegistry::in_any_cloud(NodeId v) const {
-    auto it = memberships_.find(v);
-    return it != memberships_.end() && !it->second.empty();
+    return v < memberships_.size() && !memberships_[v].empty();
 }
 
 void CloudRegistry::sync_claims(Graph& g, Cloud& cloud, std::size_t* added,
                                 std::size_t* removed) {
-    auto edges = cloud.topology.edges();
-    std::set<std::pair<NodeId, NodeId>> desired(edges.begin(), edges.end());
+    cloud.topology.collect_edges(desired_);  // sorted ascending, into scratch
 
-    for (auto it = cloud.claimed.begin(); it != cloud.claimed.end();) {
-        if (!desired.contains(*it)) {
-            g.remove_color_claim(it->first, it->second, cloud.color);
+    for (const auto& pair : cloud.claimed) {
+        if (!std::binary_search(desired_.begin(), desired_.end(), pair)) {
+            g.remove_color_claim(pair.first, pair.second, cloud.color);
             if (removed != nullptr) ++*removed;
-            it = cloud.claimed.erase(it);
-        } else {
-            ++it;
         }
     }
-    for (const auto& [u, v] : desired) {
-        if (cloud.claimed.contains({u, v})) continue;
-        g.add_color_claim(u, v, cloud.color);
-        cloud.claimed.emplace(u, v);
+    for (const auto& pair : desired_) {
+        if (!std::binary_search(cloud.claimed.begin(), cloud.claimed.end(), pair)) {
+            g.add_color_claim(pair.first, pair.second, cloud.color);
+            if (added != nullptr) ++*added;
+        }
+    }
+    cloud.claimed.assign(desired_.begin(), desired_.end());
+}
+
+void CloudRegistry::apply_splice(Graph& g, Cloud& cloud, std::size_t* added,
+                                 std::size_t* removed) {
+    // A removed candidate only loses its claim if no other cycle still
+    // realizes the pair; candidates touching an already-purged member are
+    // skipped by the mirror check.
+    for (const auto& [a, b] : delta_.splice.removed) {
+        if (cloud.topology.has_edge(a, b)) continue;
+        if (!cloud.drop_claim(a, b)) continue;
+        if (g.has_node(a) && g.has_node(b)) g.remove_color_claim(a, b, cloud.color);
+        if (removed != nullptr) ++*removed;
+    }
+    for (const auto& [a, b] : delta_.splice.added) {
+        if (!cloud.add_claim(a, b)) continue;
+        g.add_color_claim(a, b, cloud.color);
         if (added != nullptr) ++*added;
     }
 }
 
 void CloudRegistry::fix_leadership(Cloud& cloud, util::Rng& rng) {
-    auto members = cloud.members_sorted();
+    const std::vector<NodeId>& members = cloud.topology.members();
     XHEAL_ASSERT(!members.empty());
     bool leader_alive = cloud.leader != graph::invalid_node &&
                         cloud.has_member(cloud.leader);
@@ -217,30 +248,28 @@ void CloudRegistry::fix_leadership(Cloud& cloud, util::Rng& rng) {
 }
 
 void CloudRegistry::register_membership(NodeId v, ColorId color) {
-    memberships_[v].insert(color);
+    if (memberships_.size() <= v) memberships_.resize(v + 1);
+    util::sorted_insert(memberships_[v], color);
 }
 
 void CloudRegistry::unregister_membership(NodeId v, ColorId color) {
-    auto it = memberships_.find(v);
-    if (it == memberships_.end()) return;
-    it->second.erase(color);
-    if (it->second.empty()) memberships_.erase(it);
+    if (v >= memberships_.size()) return;
+    util::sorted_erase(memberships_[v], color);
 }
 
 void CloudRegistry::verify(const Graph& g) const {
     for (const auto& [color, cloud] : clouds_) {
         XHEAL_ASSERT(cloud->color == color);
         XHEAL_ASSERT(cloud->size() >= 2);
-        auto members = cloud->members_sorted();
+        const std::vector<NodeId>& members = cloud->topology.members();
         for (NodeId v : members) {
             XHEAL_ASSERT(g.has_node(v));
-            auto it = memberships_.find(v);
-            XHEAL_ASSERT(it != memberships_.end() && it->second.contains(color));
+            XHEAL_ASSERT(v < memberships_.size());
+            XHEAL_ASSERT(std::binary_search(memberships_[v].begin(),
+                                            memberships_[v].end(), color));
         }
         // Claims mirror the graph exactly and stay within the membership.
-        auto edges = cloud->topology.edges();
-        std::set<std::pair<NodeId, NodeId>> desired(edges.begin(), edges.end());
-        XHEAL_ASSERT(desired == cloud->claimed);
+        XHEAL_ASSERT(cloud->topology.edges() == cloud->claimed);
         for (const auto& [u, v] : cloud->claimed) {
             XHEAL_ASSERT(cloud->has_member(u) && cloud->has_member(v));
             XHEAL_ASSERT(g.has_color_claim(u, v, color));
@@ -270,9 +299,9 @@ void CloudRegistry::verify(const Graph& g) const {
     }
     // Membership map has no dangling colors, and the "at most one secondary
     // cloud per node" invariant holds.
-    for (const auto& [v, colors] : memberships_) {
+    for (NodeId v = 0; v < memberships_.size(); ++v) {
         std::size_t secondary_count = 0;
-        for (ColorId c : colors) {
+        for (ColorId c : memberships_[v]) {
             const Cloud* cloud = find(c);
             XHEAL_ASSERT(cloud != nullptr);
             XHEAL_ASSERT(cloud->has_member(v));
@@ -285,7 +314,7 @@ void CloudRegistry::verify(const Graph& g) const {
         for (ColorId c : claims.colors) {
             const Cloud* cloud = find(c);
             XHEAL_ASSERT(cloud != nullptr);
-            XHEAL_ASSERT(cloud->claimed.contains({std::min(u, v), std::max(u, v)}));
+            XHEAL_ASSERT(cloud->has_claim(u, v));
         }
     });
 }

@@ -16,8 +16,8 @@
 
 #include <memory>
 #include <optional>
-#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/cloud.hpp"
@@ -73,6 +73,10 @@ public:
     /// Colors of the primary clouds containing v, ascending. Empty if none.
     std::vector<graph::ColorId> primary_clouds_of(graph::NodeId v) const;
 
+    /// Allocation-free variant: fills `out` (cleared first) with the primary
+    /// colors of v. The healer's hot path feeds its scratch buffer here.
+    void primary_clouds_of(graph::NodeId v, std::vector<graph::ColorId>& out) const;
+
     /// The (unique) secondary cloud containing v, if any.
     std::optional<graph::ColorId> secondary_cloud_of(graph::NodeId v) const;
 
@@ -95,10 +99,18 @@ public:
     void verify(const graph::Graph& g) const;
 
 private:
-    /// Diff the cloud's topology edges against its current claims and apply
-    /// the changes to g. Counts added/removed claims if requested.
+    /// Full resync: diff the cloud's topology projection against its claim
+    /// mirror and apply the changes to g. Used after constructions, mode
+    /// switches and rebuilds; runs on reusable scratch (no allocation at
+    /// capacity). Counts added/removed claims if requested.
     void sync_claims(graph::Graph& g, Cloud& cloud, std::size_t* added,
                      std::size_t* removed);
+
+    /// Incremental sync: resolve the candidates of `delta_` (one splice)
+    /// against the topology and the claim mirror, applying only the claims
+    /// that actually changed. The steady-state path — no allocation.
+    void apply_splice(graph::Graph& g, Cloud& cloud, std::size_t* added,
+                      std::size_t* removed);
 
     /// Re-establish leader and vice-leader after membership changed.
     void fix_leadership(Cloud& cloud, util::Rng& rng);
@@ -110,7 +122,14 @@ private:
     bool rebuild_on_half_loss_;
     graph::ColorId next_color_ = 1;  // 0 is invalid_color
     std::unordered_map<graph::ColorId, std::unique_ptr<Cloud>> clouds_;
-    std::unordered_map<graph::NodeId, std::set<graph::ColorId>> memberships_;
+    /// memberships_[v] = sorted colors of the clouds containing v. Indexed
+    /// directly by node id (ids are dense and never reused); inner vectors
+    /// keep their capacity across churn, so re-registering never allocates.
+    std::vector<std::vector<graph::ColorId>> memberships_;
+    // Repair-path scratch, reused across every mutation (zero steady-state
+    // allocations; see DESIGN.md decision 6).
+    expander::TopoDelta delta_;
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> desired_;
 };
 
 }  // namespace xheal::core

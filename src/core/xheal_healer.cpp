@@ -1,9 +1,9 @@
 #include "core/xheal_healer.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "util/expects.hpp"
+#include "util/sorted_vec.hpp"
 
 namespace xheal::core {
 
@@ -24,7 +24,7 @@ RepairReport XhealHealer::on_delete(Graph& g, NodeId v) {
     events_.clear();
 
     // ---- snapshot v's situation before anything is torn down ----
-    std::vector<ColorId> prim = registry_.primary_clouds_of(v);
+    registry_.primary_clouds_of(v, prim_);
     std::optional<ColorId> sec = registry_.secondary_cloud_of(v);
     ColorId assoc_of_v = graph::invalid_color;
     if (sec.has_value()) {
@@ -32,31 +32,31 @@ RepairReport XhealHealer::on_delete(Graph& g, NodeId v) {
         auto it = f->bridge_assoc.find(v);
         if (it != f->bridge_assoc.end()) assoc_of_v = it->second;
     }
-    std::vector<NodeId> black_nbrs;
+    black_nbrs_.clear();
     for (const auto& [u, claims] : g.row(v)) {
-        if (!claims.colored()) black_nbrs.push_back(u);
+        if (!claims.colored()) black_nbrs_.push_back(u);
     }
 
     // ---- the adversary's deletion takes effect ----
     g.remove_node(v);
 
     // ---- Case 1: v belonged to no cloud (all deleted edges black) ----
-    if (prim.empty() && !sec.has_value()) {
-        if (black_nbrs.size() >= 2) {
-            ColorId c = registry_.create_cloud(g, CloudKind::primary, black_nbrs, rng_,
+    if (prim_.empty() && !sec.has_value()) {
+        if (black_nbrs_.size() >= 2) {
+            ColorId c = registry_.create_cloud(g, CloudKind::primary, black_nbrs_, rng_,
                                                &report.edges_added);
             ++report.clouds_touched;
-            events_.push_back(HealEvent{HealEvent::Kind::create_primary, c, black_nbrs,
-                                        black_nbrs.size(), false, false});
+            events_.push_back(HealEvent{HealEvent::Kind::create_primary, c, black_nbrs_,
+                                        black_nbrs_.size(), false, false});
         }
         return report;
     }
 
     // ---- FixPrimary: every affected primary cloud repairs its expander ----
-    std::vector<NodeId> survivors;  // lone remnants of dissolved 2-clouds
-    for (ColorId c : prim) {
+    survivors_.clear();  // lone remnants of dissolved 2-clouds
+    for (ColorId c : prim_) {
         NodeId survivor = remove_member_logged(g, c, v, report);
-        if (survivor != graph::invalid_node) survivors.push_back(survivor);
+        if (survivor != graph::invalid_node) survivors_.push_back(survivor);
     }
 
     // ---- Remove v from its secondary cloud (if any) ----
@@ -74,34 +74,34 @@ RepairReport XhealHealer::on_delete(Graph& g, NodeId v) {
     }
 
     // ---- assemble the units the new secondary must connect ----
-    std::vector<Unit> units;
-    for (ColorId c : prim) {
+    units_.clear();
+    for (ColorId c : prim_) {
         if (!registry_.exists(c)) continue;        // dissolved or combined away
         if (fix.connected.contains(c)) continue;   // still connected through F
-        units.push_back(Unit::of_cloud(c));
+        units_.push_back(Unit::of_cloud(c));
     }
-    for (NodeId s : survivors) {
-        if (g.has_node(s)) units.push_back(Unit::of_node(s));
+    for (NodeId s : survivors_) {
+        if (g.has_node(s)) units_.push_back(Unit::of_node(s));
     }
-    for (NodeId b : black_nbrs) units.push_back(Unit::of_node(b));
+    for (NodeId b : black_nbrs_) units_.push_back(Unit::of_node(b));
     if (f_survivor != graph::invalid_node && g.has_node(f_survivor)) {
         // F dissolved when v left: its last bridge is now free and its side
         // must be reconnected like any other unit.
-        units.push_back(Unit::of_node(f_survivor));
+        units_.push_back(Unit::of_node(f_survivor));
     }
 
-    units = dedupe_units(std::move(units));
-    if (units.empty()) return report;
+    dedupe_units_inplace(units_);
+    if (units_.empty()) return report;
 
     if (fix.representative.has_value()) {
-        units.push_back(*fix.representative);
-        units = dedupe_units(std::move(units));
-        connect_units(g, std::move(units), graph::invalid_color, report);
+        units_.push_back(*fix.representative);
+        dedupe_units_inplace(units_);
+        connect_units(g, units_, graph::invalid_color, report);
     } else if (fix.insert_into != graph::invalid_color &&
                registry_.exists(fix.insert_into)) {
-        connect_units(g, std::move(units), fix.insert_into, report);
+        connect_units(g, units_, fix.insert_into, report);
     } else {
-        connect_units(g, std::move(units), graph::invalid_color, report);
+        connect_units(g, units_, graph::invalid_color, report);
     }
     return report;
 }
@@ -146,7 +146,8 @@ XhealHealer::SecondaryFix XhealHealer::fix_secondary(Graph& g, ColorId f_color,
             }
             registry_.destroy_cloud(g, f_color, &report.edges_removed);
             ++report.clouds_touched;
-            ColorId combined = combine_units(g, dedupe_units(std::move(to_combine)), report);
+            dedupe_units_inplace(to_combine);
+            ColorId combined = combine_units(g, to_combine, report);
             fix.representative = Unit::of_cloud(combined);
             return fix;  // F is gone; `connected` stays empty
         }
@@ -195,35 +196,34 @@ NodeId XhealHealer::pick_free_node(Graph& g, ColorId ci,
     return graph::invalid_node;
 }
 
-std::vector<XhealHealer::Unit> XhealHealer::dedupe_units(std::vector<Unit> units) const {
-    std::vector<Unit> out;
-    std::unordered_set<ColorId> cloud_seen;
-    std::unordered_set<NodeId> node_seen;
+void XhealHealer::dedupe_units_inplace(std::vector<Unit>& units) {
+    units_tmp_.assign(units.begin(), units.end());
+    units.clear();
+    seen_clouds_.clear();
+    seen_nodes_.clear();
     // First pass: cloud units.
-    for (const Unit& u : units) {
+    for (const Unit& u : units_tmp_) {
         if (!u.is_cloud()) continue;
         if (!registry_.exists(u.cloud)) continue;
-        if (!cloud_seen.insert(u.cloud).second) continue;
-        out.push_back(u);
+        if (util::sorted_insert(seen_clouds_, u.cloud)) units.push_back(u);
     }
     // Second pass: singletons not already covered by a listed cloud.
-    for (const Unit& u : units) {
+    for (const Unit& u : units_tmp_) {
         if (u.is_cloud()) continue;
-        if (!node_seen.insert(u.singleton).second) continue;
+        if (!util::sorted_insert(seen_nodes_, u.singleton)) continue;
         bool covered = false;
-        for (ColorId c : cloud_seen) {
+        for (ColorId c : seen_clouds_) {
             const Cloud* cloud = registry_.find(c);
             if (cloud != nullptr && cloud->has_member(u.singleton)) {
                 covered = true;
                 break;
             }
         }
-        if (!covered) out.push_back(u);
+        if (!covered) units.push_back(u);
     }
-    return out;
 }
 
-void XhealHealer::connect_units(Graph& g, std::vector<Unit> units,
+void XhealHealer::connect_units(Graph& g, const std::vector<Unit>& units,
                                 ColorId into_secondary, RepairReport& report) {
     if (units.empty()) return;
     if (units.size() == 1 && into_secondary == graph::invalid_color) return;

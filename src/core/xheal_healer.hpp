@@ -117,7 +117,7 @@ private:
 
     /// Connect `units` with a secondary cloud (or into an existing one),
     /// applying free-node assignment, sharing and the combine fallback.
-    void connect_units(graph::Graph& g, std::vector<Unit> units,
+    void connect_units(graph::Graph& g, const std::vector<Unit>& units,
                        graph::ColorId into_secondary, RepairReport& report);
 
     /// Merge all units into a single fresh primary cloud. Returns its color.
@@ -125,8 +125,8 @@ private:
                                  RepairReport& report);
 
     /// Drop duplicate units, dead clouds, and singletons already covered by
-    /// a cloud unit in the list.
-    std::vector<Unit> dedupe_units(std::vector<Unit> units) const;
+    /// a cloud unit in the list. In place, on reusable scratch.
+    void dedupe_units_inplace(std::vector<Unit>& units);
 
     /// Remove v from cloud `c` recording fix/dissolve events and rebuild
     /// accounting; returns the dissolved cloud's survivor (or invalid_node).
@@ -141,6 +141,17 @@ private:
     CloudRegistry registry_;
     util::Rng rng_;
     std::vector<HealEvent> events_;
+
+    // Repair-path scratch, reused across on_delete calls so the common
+    // steady-state repair (fix one cloud, nothing structural) performs no
+    // heap allocation (DESIGN.md decision 6).
+    std::vector<graph::ColorId> prim_;        ///< v's primary clouds
+    std::vector<graph::NodeId> black_nbrs_;   ///< v's purely-black neighbors
+    std::vector<graph::NodeId> survivors_;    ///< remnants of dissolved 2-clouds
+    std::vector<Unit> units_;                 ///< units the new secondary connects
+    std::vector<Unit> units_tmp_;             ///< dedupe staging
+    std::vector<graph::ColorId> seen_clouds_; ///< dedupe: cloud units listed
+    std::vector<graph::NodeId> seen_nodes_;   ///< dedupe: singleton units listed
 };
 
 }  // namespace xheal::core

@@ -9,15 +9,12 @@ namespace xheal::expander {
 using graph::NodeId;
 
 CloudTopology::CloudTopology(std::vector<NodeId> members, std::size_t d, util::Rng& rng)
-    : d_(d), members_(members.begin(), members.end()) {
+    : d_(d), members_(std::move(members)) {
     XHEAL_EXPECTS(d >= 1);
-    XHEAL_EXPECTS(!members.empty());
-    XHEAL_EXPECTS(members_.size() == members.size());
+    XHEAL_EXPECTS(!members_.empty());
+    std::sort(members_.begin(), members_.end());
+    XHEAL_EXPECTS(std::adjacent_find(members_.begin(), members_.end()) == members_.end());
     construct(rng);
-}
-
-std::vector<NodeId> CloudTopology::members_sorted() const {
-    return {members_.begin(), members_.end()};
 }
 
 void CloudTopology::construct(util::Rng& rng) {
@@ -25,49 +22,78 @@ void CloudTopology::construct(util::Rng& rng) {
     if (members_.size() <= kappa() + 1 || members_.size() < 3) {
         hgraph_.reset();  // clique mode
     } else {
-        hgraph_.emplace(members_sorted(), d_, rng);
+        hgraph_.emplace(members_, d_, rng);
     }
 }
 
-void CloudTopology::insert(NodeId u, util::Rng& rng) {
+void CloudTopology::insert(NodeId u, util::Rng& rng, TopoDelta* delta) {
     XHEAL_EXPECTS(!contains(u));
-    members_.insert(u);
+    members_.insert(std::lower_bound(members_.begin(), members_.end(), u), u);
     if (hgraph_.has_value()) {
-        hgraph_->insert(u, rng);
+        hgraph_->insert(u, rng, delta != nullptr ? &delta->splice : nullptr);
     } else if (members_.size() > kappa() + 1) {
         construct(rng);  // clique grew past the threshold: become an H-graph
+        if (delta != nullptr) delta->full_resync = true;
+    } else if (delta != nullptr) {
+        // Clique: the newcomer connects to every existing member.
+        for (NodeId m : members_) {
+            if (m != u) delta->splice.added.push_back({std::min(m, u), std::max(m, u)});
+        }
     }
     // Growth never triggers the half-loss rule; leave the baseline size so
     // interleaved deletions still count against the original construction.
 }
 
-void CloudTopology::remove(NodeId u, util::Rng& rng) {
+void CloudTopology::remove(NodeId u, util::Rng& rng, TopoDelta* delta) {
     XHEAL_EXPECTS(contains(u));
     XHEAL_EXPECTS(members_.size() >= 2);
-    members_.erase(u);
-    if (!hgraph_.has_value()) return;  // clique: nothing structural to fix
-    if (members_.size() <= kappa() + 1 || members_.size() < 3) {
-        construct(rng);  // shrink back to clique mode
+    members_.erase(std::lower_bound(members_.begin(), members_.end(), u));
+    if (!hgraph_.has_value()) {
+        // Clique: only u's own edges disappear.
+        if (delta != nullptr) {
+            for (NodeId m : members_)
+                delta->splice.removed.push_back({std::min(m, u), std::max(m, u)});
+        }
         return;
     }
-    hgraph_->remove(u);
+    if (members_.size() <= kappa() + 1 || members_.size() < 3) {
+        construct(rng);  // shrink back to clique mode
+        if (delta != nullptr) delta->full_resync = true;
+        return;
+    }
+    hgraph_->remove(u, delta != nullptr ? &delta->splice : nullptr);
 }
 
 bool CloudTopology::needs_rebuild() const {
     return members_.size() * 2 < size_at_construction_;
 }
 
-void CloudTopology::rebuild(util::Rng& rng) { construct(rng); }
+void CloudTopology::rebuild(util::Rng& rng) {
+    size_at_construction_ = members_.size();
+    bool wants_hgraph = members_.size() > kappa() + 1 && members_.size() >= 3;
+    if (wants_hgraph && hgraph_.has_value()) {
+        hgraph_->rebuild(rng);  // in place, allocation-free
+    } else {
+        construct(rng);
+    }
+}
 
 std::vector<std::pair<NodeId, NodeId>> CloudTopology::edges() const {
-    if (hgraph_.has_value()) return hgraph_->edges();
     std::vector<std::pair<NodeId, NodeId>> out;
-    auto members = members_sorted();
-    out.reserve(members.size() * (members.size() - 1) / 2);
-    for (std::size_t i = 0; i < members.size(); ++i)
-        for (std::size_t j = i + 1; j < members.size(); ++j)
-            out.emplace_back(members[i], members[j]);
+    collect_edges(out);
     return out;
+}
+
+void CloudTopology::collect_edges(std::vector<std::pair<NodeId, NodeId>>& out) const {
+    if (hgraph_.has_value()) {
+        hgraph_->collect_edges(out);
+        return;
+    }
+    out.clear();
+    out.reserve(members_.size() * (members_.size() - 1) / 2);
+    for (std::size_t i = 0; i < members_.size(); ++i)
+        for (std::size_t j = i + 1; j < members_.size(); ++j)
+            out.emplace_back(members_[i], members_[j]);
 }
 
 }  // namespace xheal::expander

@@ -7,17 +7,38 @@
 // tracks how much it has shrunk since the last full (re)construction so the
 // owner can apply the paper's rebuild-after-half-loss rule (Section 5),
 // which restores the w.h.p. expansion guarantee after many deletions.
+//
+// Mutations can report what they did to the simple-graph projection
+// (TopoDelta) so the claim layer syncs incrementally: splices in H-graph
+// mode and single-node clique changes list their touched pairs; anything
+// that rewires the whole cloud (fresh construction, clique<->H-graph mode
+// switch, rebuild) sets `full_resync` instead. The membership is a sorted
+// vector, so steady-state churn never allocates once capacities have grown
+// to the cloud's peak size.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "expander/hgraph.hpp"
 
 namespace xheal::expander {
+
+/// Claim-level report of one topology mutation; see HGraph::SpliceDelta for
+/// the candidate semantics. When `full_resync` is set the candidate lists
+/// are meaningless and the owner must re-diff the whole projection.
+struct TopoDelta {
+    HGraph::SpliceDelta splice;
+    bool full_resync = false;
+
+    void clear() {
+        splice.clear();
+        full_resync = false;
+    }
+};
 
 class CloudTopology {
 public:
@@ -30,35 +51,50 @@ public:
     Mode mode() const { return hgraph_.has_value() ? Mode::hgraph : Mode::clique; }
     std::size_t size() const { return members_.size(); }
     std::size_t kappa() const { return 2 * d_; }
-    bool contains(graph::NodeId u) const { return members_.contains(u); }
-    std::vector<graph::NodeId> members_sorted() const;
+    bool contains(graph::NodeId u) const {
+        return std::binary_search(members_.begin(), members_.end(), u);
+    }
+    /// Members ascending; a reference into the topology (no copy).
+    const std::vector<graph::NodeId>& members() const { return members_; }
+    std::vector<graph::NodeId> members_sorted() const { return members_; }
 
     /// Add a member. Incremental H-graph INSERT when in expander mode; a
     /// clique crossing the kappa+1 threshold is rebuilt as a fresh H-graph.
-    void insert(graph::NodeId u, util::Rng& rng);
+    void insert(graph::NodeId u, util::Rng& rng, TopoDelta* delta = nullptr);
 
     /// Remove a member. Incremental H-graph DELETE; drops back to clique
     /// mode at the threshold. Requires contains(u) and size() >= 2.
-    void remove(graph::NodeId u, util::Rng& rng);
+    void remove(graph::NodeId u, util::Rng& rng, TopoDelta* delta = nullptr);
 
     /// True once the membership has fallen below half of its size at the
     /// last full construction (the paper's amortized rebuild trigger).
     bool needs_rebuild() const;
 
     /// Fresh random construction over the current members; resets the
-    /// rebuild trigger.
+    /// rebuild trigger. In H-graph mode the cycles are reshuffled in place
+    /// (no allocation).
     void rebuild(util::Rng& rng);
+
+    /// True if the simple-graph projection contains edge (a, b).
+    bool has_edge(graph::NodeId a, graph::NodeId b) const {
+        if (hgraph_.has_value()) return hgraph_->has_adjacency(a, b);
+        return a != b && contains(a) && contains(b);
+    }
 
     /// Simple-graph projection of the cloud's internal edges (sorted pairs,
     /// u < v). This is the set of color claims the cloud holds.
     std::vector<std::pair<graph::NodeId, graph::NodeId>> edges() const;
 
+    /// Projection into a caller scratch buffer (cleared first), sorted
+    /// ascending. No allocation at capacity.
+    void collect_edges(std::vector<std::pair<graph::NodeId, graph::NodeId>>& out) const;
+
 private:
     void construct(util::Rng& rng);
 
     std::size_t d_;
-    std::set<graph::NodeId> members_;
-    std::optional<HGraph> hgraph_;  // engaged iff mode() == hgraph
+    std::vector<graph::NodeId> members_;  // sorted ascending
+    std::optional<HGraph> hgraph_;        // engaged iff mode() == hgraph
     std::size_t size_at_construction_ = 0;
 };
 

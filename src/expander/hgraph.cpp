@@ -1,7 +1,6 @@
 #include "expander/hgraph.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "util/expects.hpp"
 
@@ -9,109 +8,199 @@ namespace xheal::expander {
 
 using graph::NodeId;
 
-HGraph::HGraph(std::vector<NodeId> members, std::size_t d, util::Rng& rng) {
+namespace {
+
+std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+    return {std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace
+
+HGraph::HGraph(std::vector<NodeId> members, std::size_t d, util::Rng& rng) : d_(d) {
     XHEAL_EXPECTS(d >= 1);
     XHEAL_EXPECTS(!members.empty());
     std::sort(members.begin(), members.end());
     XHEAL_EXPECTS(std::adjacent_find(members.begin(), members.end()) == members.end());
 
-    cycles_.resize(d);
-    for (auto& cycle : cycles_) {
-        std::vector<NodeId> perm = members;
-        rng.shuffle(perm);
-        for (std::size_t i = 0; i < perm.size(); ++i) {
-            NodeId u = perm[i];
-            NodeId v = perm[(i + 1) % perm.size()];
-            cycle.succ[u] = v;
-            cycle.pred[v] = u;
-        }
-    }
+    slot_ids_ = std::move(members);
+    index_.reserve(slot_ids_.size());
+    for (std::uint32_t s = 0; s < slot_ids_.size(); ++s) index_.push_back({slot_ids_[s], s});
+    succ_.assign(d_, std::vector<std::uint32_t>(slot_ids_.size()));
+    pred_.assign(d_, std::vector<std::uint32_t>(slot_ids_.size()));
+    for (std::size_t c = 0; c < d_; ++c) shuffle_cycle(c, rng);
 }
 
-bool HGraph::contains(NodeId u) const {
-    return !cycles_.empty() && cycles_.front().succ.contains(u);
+std::size_t HGraph::index_lower_bound(NodeId u) const {
+    auto it = std::lower_bound(
+        index_.begin(), index_.end(), u,
+        [](const std::pair<NodeId, std::uint32_t>& e, NodeId id) { return e.first < id; });
+    return static_cast<std::size_t>(it - index_.begin());
+}
+
+std::uint32_t HGraph::slot_of(NodeId u) const {
+    std::size_t at = index_lower_bound(u);
+    return at < index_.size() && index_[at].first == u ? index_[at].second : npos;
 }
 
 std::vector<NodeId> HGraph::members_sorted() const {
     std::vector<NodeId> out;
-    if (cycles_.empty()) return out;
-    out.reserve(cycles_.front().succ.size());
-    for (const auto& [u, _] : cycles_.front().succ) out.push_back(u);
-    std::sort(out.begin(), out.end());
+    out.reserve(index_.size());
+    for (const auto& [id, slot] : index_) out.push_back(id);
     return out;
 }
 
-void HGraph::insert(NodeId u, util::Rng& rng) {
-    XHEAL_EXPECTS(!contains(u));
-    XHEAL_EXPECTS(size() >= 1);
-    // Sorted member snapshot gives a deterministic random draw independent
-    // of hash iteration order.
-    auto members = members_sorted();
-    for (auto& cycle : cycles_) {
-        NodeId v = members[rng.index(members.size())];
-        NodeId w = cycle.succ.at(v);
-        cycle.succ[v] = u;
-        cycle.succ[u] = w;
-        cycle.pred[w] = u;
-        cycle.pred[u] = v;
+void HGraph::shuffle_cycle(std::size_t cycle, util::Rng& rng) {
+    // Permute the live slots in ascending-id order; shuffling slot handles
+    // consumes the identical rng draws as shuffling the sorted id list, so
+    // construction remains bit-compatible with the original implementation.
+    perm_.clear();
+    for (const auto& [id, slot] : index_) perm_.push_back(slot);
+    rng.shuffle(perm_);
+    std::vector<std::uint32_t>& succ = succ_[cycle];
+    std::vector<std::uint32_t>& pred = pred_[cycle];
+    for (std::size_t i = 0; i < perm_.size(); ++i) {
+        std::uint32_t a = perm_[i];
+        std::uint32_t b = perm_[(i + 1) % perm_.size()];
+        succ[a] = b;
+        pred[b] = a;
     }
 }
 
-void HGraph::remove(NodeId u) {
-    XHEAL_EXPECTS(contains(u));
-    XHEAL_EXPECTS(size() >= 2);
-    for (auto& cycle : cycles_) {
-        NodeId p = cycle.pred.at(u);
-        NodeId s = cycle.succ.at(u);
-        cycle.succ.erase(u);
-        cycle.pred.erase(u);
-        cycle.succ[p] = s;
-        cycle.pred[s] = p;
+void HGraph::rebuild(util::Rng& rng) {
+    for (std::size_t c = 0; c < d_; ++c) shuffle_cycle(c, rng);
+}
+
+void HGraph::insert(NodeId u, util::Rng& rng, SpliceDelta* delta) {
+    XHEAL_EXPECTS(!contains(u));
+    XHEAL_EXPECTS(size() >= 1);
+
+    std::uint32_t s;
+    if (!free_slots_.empty()) {
+        s = free_slots_.back();
+        free_slots_.pop_back();
+        slot_ids_[s] = u;
+    } else {
+        s = static_cast<std::uint32_t>(slot_ids_.size());
+        slot_ids_.push_back(u);
+        for (std::size_t c = 0; c < d_; ++c) {
+            succ_[c].push_back(0);
+            pred_[c].push_back(0);
+        }
     }
+
+    std::size_t n = index_.size();
+    for (std::size_t c = 0; c < d_; ++c) {
+        // Uniform position draw over the pre-insert members in ascending-id
+        // order (the draw order the hash-based implementation used).
+        std::uint32_t vslot = index_[rng.index(n)].second;
+        std::uint32_t wslot = succ_[c][vslot];
+        succ_[c][vslot] = s;
+        pred_[c][s] = vslot;
+        succ_[c][s] = wslot;
+        pred_[c][wslot] = s;
+        if (delta != nullptr) {
+            NodeId v = slot_ids_[vslot];
+            NodeId w = slot_ids_[wslot];
+            delta->added.push_back(ordered(v, u));
+            if (vslot != wslot) {
+                delta->removed.push_back(ordered(v, w));
+                delta->added.push_back(ordered(u, w));
+            }
+        }
+    }
+    index_.insert(index_.begin() + static_cast<std::ptrdiff_t>(index_lower_bound(u)),
+                  {u, s});
+}
+
+void HGraph::remove(NodeId u, SpliceDelta* delta) {
+    XHEAL_EXPECTS(size() >= 2);
+    std::size_t at = index_lower_bound(u);
+    XHEAL_EXPECTS(at < index_.size() && index_[at].first == u);
+    std::uint32_t s = index_[at].second;
+
+    for (std::size_t c = 0; c < d_; ++c) {
+        std::uint32_t p = pred_[c][s];
+        std::uint32_t n = succ_[c][s];
+        succ_[c][p] = n;  // p == n (2-cycle) degenerates to a self-loop
+        pred_[c][n] = p;
+        if (delta != nullptr) {
+            NodeId pid = slot_ids_[p];
+            NodeId nid = slot_ids_[n];
+            delta->removed.push_back(ordered(pid, u));
+            if (n != p) {
+                delta->removed.push_back(ordered(u, nid));
+                delta->added.push_back(ordered(pid, nid));
+            }
+        }
+    }
+    index_.erase(index_.begin() + static_cast<std::ptrdiff_t>(at));
+    slot_ids_[s] = graph::invalid_node;
+    free_slots_.push_back(s);
 }
 
 NodeId HGraph::successor(NodeId u, std::size_t cycle) const {
-    XHEAL_EXPECTS(cycle < cycles_.size());
-    XHEAL_EXPECTS(contains(u));
-    return cycles_[cycle].succ.at(u);
+    XHEAL_EXPECTS(cycle < succ_.size());
+    std::uint32_t s = slot_of(u);
+    XHEAL_EXPECTS(s != npos);
+    return slot_ids_[succ_[cycle][s]];
 }
 
 NodeId HGraph::predecessor(NodeId u, std::size_t cycle) const {
-    XHEAL_EXPECTS(cycle < cycles_.size());
-    XHEAL_EXPECTS(contains(u));
-    return cycles_[cycle].pred.at(u);
+    XHEAL_EXPECTS(cycle < pred_.size());
+    std::uint32_t s = slot_of(u);
+    XHEAL_EXPECTS(s != npos);
+    return slot_ids_[pred_[cycle][s]];
+}
+
+bool HGraph::has_adjacency(NodeId a, NodeId b) const {
+    std::uint32_t sa = slot_of(a);
+    std::uint32_t sb = slot_of(b);
+    if (sa == npos || sb == npos || sa == sb) return false;
+    for (std::size_t c = 0; c < d_; ++c) {
+        if (succ_[c][sa] == sb || pred_[c][sa] == sb) return true;
+    }
+    return false;
+}
+
+void HGraph::collect_edges(
+    std::vector<std::pair<NodeId, NodeId>>& out) const {
+    out.clear();
+    for (std::size_t c = 0; c < d_; ++c) {
+        for (const auto& [id, slot] : index_) {
+            std::uint32_t t = succ_[c][slot];
+            if (t == slot) continue;  // degenerate 1-node cycle
+            out.push_back(ordered(id, slot_ids_[t]));
+        }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
 }
 
 std::vector<std::pair<NodeId, NodeId>> HGraph::edges() const {
-    std::set<std::pair<NodeId, NodeId>> pairs;
-    for (const auto& cycle : cycles_) {
-        for (const auto& [u, v] : cycle.succ) {
-            if (u == v) continue;  // degenerate 1-node cycle
-            pairs.emplace(std::min(u, v), std::max(u, v));
-        }
-    }
-    return {pairs.begin(), pairs.end()};
+    std::vector<std::pair<NodeId, NodeId>> out;
+    collect_edges(out);
+    return out;
 }
 
 void HGraph::validate() const {
-    auto members = members_sorted();
-    for (const auto& cycle : cycles_) {
-        XHEAL_ASSERT(cycle.succ.size() == members.size());
-        XHEAL_ASSERT(cycle.pred.size() == members.size());
-        for (const auto& [u, v] : cycle.succ) {
-            XHEAL_ASSERT(cycle.pred.at(v) == u);
+    for (std::size_t c = 0; c < d_; ++c) {
+        const std::vector<std::uint32_t>& succ = succ_[c];
+        const std::vector<std::uint32_t>& pred = pred_[c];
+        for (const auto& [id, slot] : index_) {
+            XHEAL_ASSERT(slot_ids_[succ[slot]] != graph::invalid_node);
+            XHEAL_ASSERT(pred[succ[slot]] == slot);
         }
         // The successor map must form a single cycle covering all members.
-        if (members.empty()) continue;
-        NodeId start = members.front();
-        NodeId cur = start;
+        if (index_.empty()) continue;
+        std::uint32_t start = index_.front().second;
+        std::uint32_t cur = start;
         std::size_t steps = 0;
         do {
-            cur = cycle.succ.at(cur);
+            cur = succ[cur];
             ++steps;
-            XHEAL_ASSERT(steps <= members.size());
+            XHEAL_ASSERT(steps <= index_.size());
         } while (cur != start);
-        XHEAL_ASSERT(steps == members.size());
+        XHEAL_ASSERT(steps == index_.size());
     }
 }
 

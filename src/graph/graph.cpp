@@ -122,11 +122,8 @@ void Graph::add_black_edge(NodeId u, NodeId v) {
 void Graph::add_color_claim(NodeId u, NodeId v, ColorId color) {
     XHEAL_EXPECTS(color != invalid_color);
     auto [cu, cv] = ensure_edge(u, v);
-    auto pos = std::lower_bound(cu->colors.begin(), cu->colors.end(), color);
-    if (pos != cu->colors.end() && *pos == color) return;
-    cu->colors.insert(pos, color);
-    auto mpos = std::lower_bound(cv->colors.begin(), cv->colors.end(), color);
-    cv->colors.insert(mpos, color);
+    if (!cu->colors.insert(color)) return;
+    cv->colors.insert(color);
 }
 
 void Graph::erase_edge(NodeId u, NodeId v) {
@@ -146,11 +143,8 @@ void Graph::erase_edge(NodeId u, NodeId v) {
 bool Graph::remove_color_claim(NodeId u, NodeId v, ColorId color) {
     auto [cu, cv] = find_edge(u, v);
     if (cu == nullptr) return false;
-    auto pos = std::lower_bound(cu->colors.begin(), cu->colors.end(), color);
-    if (pos == cu->colors.end() || *pos != color) return false;
-    cu->colors.erase(pos);
-    auto mpos = std::lower_bound(cv->colors.begin(), cv->colors.end(), color);
-    cv->colors.erase(mpos);
+    if (!cu->colors.erase(color)) return false;
+    cv->colors.erase(color);
     if (cu->empty()) erase_edge(u, v);
     return true;
 }

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
@@ -36,15 +37,87 @@
 
 namespace xheal::graph {
 
-/// Claim set of one edge. `colors` is a small sorted vector used as a set.
+/// Sorted set of cloud colors claiming one edge, with inline storage for
+/// the common case: nearly every edge carries at most a few claims, so the
+/// repair hot path's claim churn (splice out, splice in) never touches the
+/// heap. Spills to a heap vector past `inline_capacity` and stays there
+/// (the vector keeps its capacity), so repeated churn stays allocation-free
+/// either way.
+class ColorSet {
+public:
+    using value_type = ColorId;
+    using const_iterator = const ColorId*;
+
+    bool contains(ColorId c) const { return std::binary_search(begin(), end(), c); }
+
+    /// Insert keeping ascending order. Returns false if already present.
+    bool insert(ColorId c) {
+        ColorId* d = data();
+        ColorId* pos = std::lower_bound(d, d + size_, c);
+        if (pos != d + size_ && *pos == c) return false;
+        std::size_t at = static_cast<std::size_t>(pos - d);
+        if (!heap_ && size_ == inline_capacity) {
+            overflow_.assign(inline_.begin(), inline_.end());
+            heap_ = true;
+        }
+        if (heap_) {
+            overflow_.insert(overflow_.begin() + static_cast<std::ptrdiff_t>(at), c);
+        } else {
+            for (std::size_t i = size_; i > at; --i) inline_[i] = inline_[i - 1];
+            inline_[at] = c;
+        }
+        ++size_;
+        return true;
+    }
+
+    /// Erase if present. Returns false if absent.
+    bool erase(ColorId c) {
+        ColorId* d = data();
+        ColorId* pos = std::lower_bound(d, d + size_, c);
+        if (pos == d + size_ || *pos != c) return false;
+        std::size_t at = static_cast<std::size_t>(pos - d);
+        if (heap_) {
+            overflow_.erase(overflow_.begin() + static_cast<std::ptrdiff_t>(at));
+        } else {
+            for (std::size_t i = at + 1; i < size_; ++i) inline_[i - 1] = inline_[i];
+        }
+        --size_;
+        return true;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const_iterator begin() const { return data(); }
+    const_iterator end() const { return data() + size_; }
+    ColorId front() const { return data()[0]; }
+    ColorId operator[](std::size_t i) const { return data()[i]; }
+
+    friend bool operator==(const ColorSet& a, const ColorSet& b) {
+        return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    }
+    bool operator==(const std::vector<ColorId>& v) const {
+        return std::equal(begin(), end(), v.begin(), v.end());
+    }
+
+private:
+    static constexpr std::size_t inline_capacity = 3;
+
+    const ColorId* data() const { return heap_ ? overflow_.data() : inline_.data(); }
+    ColorId* data() { return heap_ ? overflow_.data() : inline_.data(); }
+
+    std::array<ColorId, inline_capacity> inline_{};
+    std::vector<ColorId> overflow_;
+    std::uint32_t size_ = 0;
+    bool heap_ = false;
+};
+
+/// Claim set of one edge. `colors` is a small sorted set (inline storage).
 struct EdgeClaims {
     bool black = false;
-    std::vector<ColorId> colors;
+    ColorSet colors;
 
     bool empty() const { return !black && colors.empty(); }
-    bool has_color(ColorId c) const {
-        return std::binary_search(colors.begin(), colors.end(), c);
-    }
+    bool has_color(ColorId c) const { return colors.contains(c); }
     bool colored() const { return !colors.empty(); }
 };
 

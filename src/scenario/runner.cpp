@@ -90,7 +90,11 @@ MetricSample ScenarioRunner::take_sample(std::size_t step, const std::string& ph
     sample.edges = g.edge_count();
     sample.deletions = session_.deletions();
     sample.insertions = session_.insertions();
-    if (probes.connected) sample.components = graph::connected_components(g).size();
+    auto probe_start = std::chrono::steady_clock::now();
+    // One CSR snapshot serves every probe of this sample (g cannot mutate
+    // inside take_sample).
+    probe_engine_.begin_sample(g);
+    if (probes.connected) sample.components = probe_engine_.component_count(g);
     if (probes.degree) {
         sample.max_degree = g.max_degree();
         auto increase = core::degree_increase(g, session_.reference());
@@ -108,10 +112,14 @@ MetricSample ScenarioRunner::take_sample(std::size_t step, const std::string& ph
         sample.worst_slack_ratio = worst;
     }
     if (probes.expansion) sample.expansion = spectral::edge_expansion_estimate(g);
-    if (probes.lambda2) sample.lambda2 = spectral::lambda2(g);
+    if (probes.lambda2) sample.lambda2 = probe_engine_.lambda2(g);
     if (probes.stretch)
-        sample.stretch = core::sampled_stretch(g, session_.reference(),
-                                               spec_.stretch_samples, probe_rng_);
+        sample.stretch = probe_engine_.sampled_stretch(g, session_.reference(),
+                                                       spec_.stretch_samples, probe_rng_);
+    probe_engine_.end_sample();
+    auto probe_end = std::chrono::steady_clock::now();
+    sample.probe_seconds = std::chrono::duration<double>(probe_end - probe_start).count();
+    probe_seconds_ += sample.probe_seconds;
     return sample;
 }
 
@@ -233,12 +241,19 @@ RunResult ScenarioRunner::run() {
     }
 
     auto t1 = std::chrono::steady_clock::now();
-    result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    // Cadence samples run inside the timed loop; subtract their probe time
+    // so `seconds` (and steps_per_sec) measure adversary+healer stepping
+    // only. probe_seconds_ holds exactly the cadence probe cost here — the
+    // final sample is taken after this point.
+    result.seconds =
+        std::chrono::duration<double>(t1 - t0).count() - probe_seconds_;
+    if (result.seconds < 0.0) result.seconds = 0.0;  // clock-resolution guard
     result.steps_done = global_step;
 
     std::string last_phase = spec_.phases.empty() ? "" : spec_.phases.back().name;
     result.final_sample = take_sample(global_step, last_phase, final_probes());
     result.samples.push_back(result.final_sample);
+    result.probe_seconds = probe_seconds_;
     result.trace_hash = hasher.value();
     result.fingerprint = graph_fingerprint(session_.current());
     evaluate_expectations(result);
@@ -294,6 +309,7 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
     std::string last_phase = spec_.phases.empty() ? "" : spec_.phases.back().name;
     result.final_sample = take_sample(result.steps_done, last_phase, final_probes());
     result.samples.push_back(result.final_sample);
+    result.probe_seconds = probe_seconds_;
     result.trace_hash = hasher.value();
     result.fingerprint = graph_fingerprint(session_.current());
     evaluate_expectations(result);

@@ -18,6 +18,7 @@
 #include "scenario/registry.hpp"
 #include "scenario/spec.hpp"
 #include "scenario/trace.hpp"
+#include "spectral/probes.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -25,6 +26,13 @@ namespace xheal::scenario {
 
 /// One row of the sampled metric time series. Probe-gated metrics default
 /// to NaN ("not sampled"); counters are always filled.
+///
+/// Sampling cadence contract: a sample is taken after every
+/// `spec.sample_every`-th step, plus one *final* sample after the last step
+/// (with the superset of probes any `expect` clause needs). sample_every = 0
+/// means final-only: RunResult::samples holds exactly one entry, equal to
+/// final_sample. A cadence point that coincides with the last step is
+/// folded into the final sample rather than duplicated.
 struct MetricSample {
     std::size_t step = 0;  ///< global step index (1-based: after this step)
     std::string phase;
@@ -40,6 +48,7 @@ struct MetricSample {
     double expansion = std::nan("");          ///< probe: expansion
     double lambda2 = std::nan("");            ///< probe: lambda2
     double stretch = std::nan("");            ///< probe: stretch
+    double probe_seconds = 0.0;               ///< wall time spent probing
 
     bool connected() const { return components == 1; }
 };
@@ -64,7 +73,11 @@ struct RunResult {
     std::uint64_t trace_hash = 0;
     std::uint64_t fingerprint = 0;  ///< final healed graph
     std::size_t steps_done = 0;
-    double seconds = 0.0;  ///< schedule execution wall time
+    /// Adversary+healer stepping wall time, metric probes excluded.
+    double seconds = 0.0;
+    /// Wall time spent in metric probes across all samples (cadence +
+    /// final). Disjoint from `seconds`.
+    double probe_seconds = 0.0;
     /// Expectation failures ("metric: wanted X, got Y"); empty = PASS.
     std::vector<std::string> failures;
 
@@ -129,6 +142,10 @@ private:
     ScenarioSpec spec_;
     util::Rng rng_;        ///< master: topology + adversary schedule
     util::Rng probe_rng_;  ///< independent: metric sampling only
+    /// Sparse probe layer (CSR snapshot + Lanczos/BFS scratch), reused
+    /// across samples so steady-state probing does not allocate.
+    spectral::ProbeEngine probe_engine_;
+    double probe_seconds_ = 0.0;  ///< accumulated across take_sample calls
     std::size_t kappa_ = 1;
     const core::CloudRegistry* registry_ = nullptr;
     core::HealingSession session_;

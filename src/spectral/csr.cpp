@@ -1,0 +1,70 @@
+#include "spectral/csr.hpp"
+
+#include <cmath>
+
+namespace xheal::spectral {
+
+using graph::NodeId;
+
+void CsrGraph::build(const graph::Graph& g) {
+    nodes_.clear();
+    nodes_.reserve(g.node_count());
+    position_.assign(g.next_id(), npos);
+    for (NodeId v : g.nodes()) {
+        position_[v] = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.push_back(v);
+    }
+
+    std::size_t n = nodes_.size();
+    offsets_.resize(n + 1);
+    inv_sqrt_deg_.resize(n);
+    offsets_[0] = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t deg = g.degree(nodes_[i]);
+        offsets_[i + 1] = offsets_[i] + static_cast<std::uint32_t>(deg);
+        inv_sqrt_deg_[i] = deg > 0 ? 1.0 / std::sqrt(static_cast<double>(deg)) : 0.0;
+    }
+
+    targets_.resize(offsets_[n]);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t* out = targets_.data() + offsets_[i];
+        for (NodeId u : g.neighbors(nodes_[i])) *out++ = position_[u];
+    }
+}
+
+void CsrGraph::apply_normalized_laplacian(const std::vector<double>& x,
+                                          std::vector<double>& y) const {
+    std::size_t n = nodes_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t begin = offsets_[i], end = offsets_[i + 1];
+        if (begin == end) {
+            y[i] = 0.0;  // isolated vertex: zero row
+            continue;
+        }
+        double acc = 0.0;
+        for (std::uint32_t k = begin; k < end; ++k) {
+            std::uint32_t j = targets_[k];
+            acc += inv_sqrt_deg_[j] * x[j];
+        }
+        y[i] = x[i] - inv_sqrt_deg_[i] * acc;
+    }
+}
+
+void CsrGraph::normalized_kernel(std::vector<double>& out) const {
+    std::size_t n = nodes_.size();
+    out.resize(n);
+    double sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double entry = inv_sqrt_deg_[i] > 0.0 ? 1.0 / inv_sqrt_deg_[i] : 0.0;
+        out[i] = entry;
+        sq += entry * entry;
+    }
+    if (sq <= 0.0) {
+        out.clear();
+        return;
+    }
+    double inv = 1.0 / std::sqrt(sq);
+    for (double& x : out) x *= inv;
+}
+
+}  // namespace xheal::spectral

@@ -1,0 +1,143 @@
+#include "spectral/probes.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "spectral/jacobi.hpp"
+#include "spectral/lanczos.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace xheal::spectral {
+
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// Flood-fill component count over a built snapshot, reusing the caller's
+/// visited/work buffers.
+std::size_t count_components(const CsrGraph& csr, std::vector<std::uint32_t>& visited,
+                             std::vector<std::uint32_t>& queue) {
+    std::size_t n = csr.size();
+    visited.assign(n, 0);
+    std::size_t comps = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (visited[i] != 0) continue;
+        ++comps;
+        visited[i] = 1;
+        queue.clear();
+        queue.push_back(i);
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            for (std::uint32_t v : csr.row(queue[head])) {
+                if (visited[v] == 0) {
+                    visited[v] = 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    return comps;
+}
+
+}  // namespace
+
+double ProbeEngine::lambda2(const Graph& g, std::uint64_t seed) {
+    if (g.node_count() < 2) return 0.0;
+    if (g.node_count() <= dense_limit_) return lambda2_dense(g);
+    return lambda2_sparse(g, seed, probe_lanczos_steps, 1e-7);
+}
+
+double ProbeEngine::lambda2_dense(const Graph& g) {
+    if (g.node_count() < 2) return 0.0;
+    auto values = jacobi_eigenvalues(laplacian_dense(g, LaplacianKind::normalized));
+    return std::max(0.0, values[1]);
+}
+
+void ProbeEngine::ensure_snapshot(const Graph& g) {
+    if (batch_graph_ == &g && snapshot_valid_) return;
+    csr_.build(g);
+    snapshot_valid_ = batch_graph_ == &g;
+}
+
+double ProbeEngine::lambda2_sparse(const Graph& g, std::uint64_t seed,
+                                   std::size_t max_iterations, double tolerance) {
+    if (g.node_count() < 2) return 0.0;
+    ensure_snapshot(g);
+    if (count_components(csr_, dist_, queue_) > 1) return 0.0;
+
+    csr_.normalized_kernel(kernel_);
+    util::Rng rng(seed);
+    const CsrGraph& csr = csr_;
+    LinearOperator apply = [&csr](const std::vector<double>& x, std::vector<double>& y) {
+        csr.apply_normalized_laplacian(x, y);
+    };
+    auto result = lanczos_smallest(apply, csr_.size(), kernel_, rng, max_iterations,
+                                   tolerance);
+    return std::max(0.0, result.value);
+}
+
+std::size_t ProbeEngine::component_count(const Graph& g) {
+    ensure_snapshot(g);
+    return count_components(csr_, dist_, queue_);
+}
+
+void ProbeEngine::bfs(const CsrGraph& csr, std::uint32_t src,
+                      std::vector<std::uint32_t>& dist) {
+    dist.assign(csr.size(), CsrGraph::npos);
+    queue_.clear();
+    queue_.push_back(src);
+    dist[src] = 0;
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+        std::uint32_t u = queue_[head];
+        std::uint32_t du = dist[u];
+        for (std::uint32_t v : csr.row(u)) {
+            if (dist[v] == CsrGraph::npos) {
+                dist[v] = du + 1;
+                queue_.push_back(v);
+            }
+        }
+    }
+}
+
+double ProbeEngine::sampled_stretch(const Graph& g, const Graph& ref,
+                                    std::size_t budget, util::Rng& rng) {
+    ensure_snapshot(g);
+    std::size_t n = csr_.size();
+    if (n < 2) return 1.0;
+    ref_csr_.build(ref);
+
+    // Sample `budget` distinct sources by partial Fisher-Yates over the live
+    // pool; budget >= n degenerates to the exact all-sources sweep.
+    sources_.assign(csr_.nodes().begin(), csr_.nodes().end());
+    std::size_t k = std::min(budget, n);
+    if (k < n) {
+        for (std::size_t i = 0; i < k; ++i) {
+            std::size_t j = i + rng.index(n - i);
+            std::swap(sources_[i], sources_[j]);
+        }
+        sources_.resize(k);
+    }
+
+    double worst = 0.0;
+    for (NodeId s : sources_) {
+        std::uint32_t gi = csr_.index_of(s);
+        std::uint32_t ri = ref_csr_.index_of(s);
+        if (ri == CsrGraph::npos) continue;  // source unknown to the reference
+        bfs(csr_, gi, dist_);
+        bfs(ref_csr_, ri, ref_dist_);
+        const auto& ref_nodes = ref_csr_.nodes();
+        for (std::size_t j = 0; j < ref_nodes.size(); ++j) {
+            std::uint32_t rd = ref_dist_[j];
+            if (rd == CsrGraph::npos || rd == 0) continue;  // unreachable or s itself
+            std::uint32_t ti = csr_.index_of(ref_nodes[j]);
+            if (ti == CsrGraph::npos) continue;  // deleted nodes don't count
+            std::uint32_t gd = dist_[ti];
+            if (gd == CsrGraph::npos) return std::numeric_limits<double>::infinity();
+            worst = std::max(worst,
+                             static_cast<double>(gd) / static_cast<double>(rd));
+        }
+    }
+    return std::max(worst, 1.0);
+}
+
+}  // namespace xheal::spectral

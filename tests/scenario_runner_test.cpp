@@ -178,6 +178,56 @@ expect nodes >= 100
     EXPECT_NE(result.failures[0].find("nodes"), std::string::npos);
 }
 
+TEST(ScenarioRunner, ZeroSampleEveryMeansFinalSampleOnly) {
+    // sample_every = 0 is the documented "final-only" cadence: exactly one
+    // sample, which IS the final sample, carrying the expectation probes.
+    auto spec = phased_churn_spec();
+    spec.sample_every = 0;
+    spec.probes = {"connected", "degree"};
+    auto result = ScenarioRunner(spec).run();
+    ASSERT_EQ(result.samples.size(), 1u);
+    EXPECT_EQ(result.samples[0].step, result.final_sample.step);
+    EXPECT_EQ(result.samples[0].nodes, result.final_sample.nodes);
+    EXPECT_EQ(result.samples[0].components, result.final_sample.components);
+    EXPECT_EQ(result.final_sample.step, result.steps_done);
+}
+
+TEST(ScenarioRunner, CadenceCoincidingWithTheLastStepIsNotDuplicated) {
+    // 75 total steps, cadence 25: samples at 25 and 50; the would-be step-75
+    // cadence point folds into the final sample instead of duplicating it.
+    auto spec = phased_churn_spec();
+    spec.sample_every = 25;
+    auto result = ScenarioRunner(spec).run();
+    ASSERT_EQ(result.samples.size(), 3u);
+    EXPECT_EQ(result.samples[0].step, 25u);
+    EXPECT_EQ(result.samples[1].step, 50u);
+    EXPECT_EQ(result.samples[2].step, 75u);  // the final sample
+    EXPECT_EQ(result.final_sample.step, 75u);
+}
+
+TEST(ScenarioRunner, CadenceLargerThanTheScheduleYieldsFinalSampleOnly) {
+    auto spec = phased_churn_spec();
+    spec.sample_every = 1000;  // > total steps (75)
+    auto result = ScenarioRunner(spec).run();
+    ASSERT_EQ(result.samples.size(), 1u);
+    EXPECT_EQ(result.samples[0].step, result.steps_done);
+}
+
+TEST(ScenarioRunner, ProbeCostIsAccountedPerSampleAndPerRun) {
+    auto spec = phased_churn_spec();
+    spec.sample_every = 10;
+    spec.probes = {"connected", "degree", "lambda2", "stretch"};
+    auto result = ScenarioRunner(spec).run();
+    double sum = 0.0;
+    for (const auto& s : result.samples) {
+        EXPECT_GE(s.probe_seconds, 0.0);
+        sum += s.probe_seconds;
+    }
+    EXPECT_NEAR(result.probe_seconds, sum, 1e-9);
+    // `seconds` measures stepping only; probe cost is accounted separately.
+    EXPECT_GE(result.seconds, 0.0);
+}
+
 TEST(ScenarioRunner, SamplingCadenceDoesNotPerturbTheTrace) {
     auto base_spec = phased_churn_spec();
     auto probed_spec = phased_churn_spec();

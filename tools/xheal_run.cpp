@@ -1,11 +1,14 @@
 // xheal_run — the one CLI driver for declarative scenarios.
 //
 //   xheal_run run <spec.scn> [more specs...] [--trace FILE] [--json FILE]
+//             [--max-steps N]
 //       Execute each spec's phase schedule; print per-phase accounting, the
 //       sampled metric series, and a greppable "VERDICT scenario-<name>
 //       PASS|FAIL" line per spec (FAIL when an `expect` clause is violated).
 //       --trace (single spec only) writes the deterministic JSONL event
-//       trace; --json appends a BENCH_scenarios.json steps/sec report.
+//       trace; --json appends a BENCH_scenarios.json steps/sec + probe-cost
+//       report; --max-steps truncates the schedule after N total steps (CI
+//       smoke runs of large specs such as dex_scale.scn).
 //   xheal_run replay <spec.scn> <trace.jsonl>
 //       Re-apply a recorded trace against a fresh session from the same
 //       spec and verify trace hash + final-graph fingerprint byte-for-byte.
@@ -28,7 +31,8 @@ namespace {
 
 int usage() {
     std::cerr << "usage:\n"
-              << "  xheal_run run <spec.scn>... [--trace FILE] [--json FILE]\n"
+              << "  xheal_run run <spec.scn>... [--trace FILE] [--json FILE] "
+                 "[--max-steps N]\n"
               << "  xheal_run replay <spec.scn> <trace.jsonl>\n"
               << "  xheal_run print <spec.scn>\n"
               << "  xheal_run list\n";
@@ -41,7 +45,7 @@ std::string fmt_or_dash(double v, int precision) {
 
 void print_samples(const scenario::RunResult& result) {
     util::Table table({"step", "phase", "nodes", "edges", "comps", "max-deg-ratio",
-                       "h(G)~", "lambda2", "stretch"});
+                       "h(G)~", "lambda2", "stretch", "probe-ms"});
     for (const auto& s : result.samples) {
         table.row()
             .add(s.step)
@@ -52,7 +56,8 @@ void print_samples(const scenario::RunResult& result) {
             .add(fmt_or_dash(s.max_degree_ratio, 2))
             .add(fmt_or_dash(s.expansion, 3))
             .add(fmt_or_dash(s.lambda2, 4))
-            .add(fmt_or_dash(s.stretch, 2));
+            .add(fmt_or_dash(s.stretch, 2))
+            .add(util::format_double(s.probe_seconds * 1000.0, 2));
     }
     table.print(std::cout);
 }
@@ -81,6 +86,8 @@ struct JsonRow {
     std::size_t events = 0;
     double seconds = 0.0;
     double steps_per_sec = 0.0;
+    double probe_seconds = 0.0;
+    std::size_t samples = 0;
     bool pass = false;
 };
 
@@ -90,16 +97,25 @@ int write_json(const std::string& path, const std::vector<JsonRow>& rows) {
         std::cerr << "cannot open " << path << "\n";
         return 1;
     }
-    out << "{\n  \"schema\": \"xheal-bench-scenarios-v1\",\n"
-        << "  \"note\": \"scenario engine throughput: adversary+healer steps/sec per "
-           "bundled spec\",\n"
+    out << "{\n  \"schema\": \"xheal-bench-scenarios-v2\",\n"
+        << "  \"note\": \"scenario engine throughput (adversary+healer steps/sec) and "
+           "probe cost (seconds spent in metric probes, ms per sample) per bundled "
+           "spec\",\n"
         << "  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
+        double probe_ms_per_sample =
+            rows[i].samples > 0
+                ? rows[i].probe_seconds * 1000.0 / static_cast<double>(rows[i].samples)
+                : 0.0;
         out << "    {\"scenario\": \"" << rows[i].scenario << "\", \"steps\": "
             << rows[i].steps << ", \"events\": " << rows[i].events
             << ", \"seconds\": " << util::format_double(rows[i].seconds, 6)
             << ", \"steps_per_sec\": "
             << static_cast<std::uint64_t>(rows[i].steps_per_sec)
+            << ", \"probe_seconds\": " << util::format_double(rows[i].probe_seconds, 6)
+            << ", \"samples\": " << rows[i].samples
+            << ", \"probe_ms_per_sample\": "
+            << util::format_double(probe_ms_per_sample, 3)
             << ", \"pass\": " << (rows[i].pass ? "true" : "false") << "}"
             << (i + 1 < rows.size() ? "," : "") << "\n";
     }
@@ -111,6 +127,7 @@ int write_json(const std::string& path, const std::vector<JsonRow>& rows) {
 int cmd_run(const std::vector<std::string>& args) {
     std::vector<std::string> spec_paths;
     std::string trace_path, json_path;
+    std::size_t max_steps = 0;  // 0 = unlimited
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--trace") {
             if (++i >= args.size()) return usage();
@@ -118,6 +135,21 @@ int cmd_run(const std::vector<std::string>& args) {
         } else if (args[i] == "--json") {
             if (++i >= args.size()) return usage();
             json_path = args[i];
+        } else if (args[i] == "--max-steps") {
+            if (++i >= args.size()) return usage();
+            // Strict whole-string parse: reject "abc", "200x", "-1".
+            std::size_t consumed = 0;
+            try {
+                max_steps = static_cast<std::size_t>(std::stoull(args[i], &consumed));
+            } catch (const std::exception&) {
+                consumed = 0;
+            }
+            if (consumed != args[i].size() || args[i].empty() || args[i][0] == '-' ||
+                max_steps == 0) {
+                std::cerr << "--max-steps needs a positive integer, got '" << args[i]
+                          << "'\n";
+                return 2;
+            }
         } else {
             spec_paths.push_back(args[i]);
         }
@@ -132,6 +164,17 @@ int cmd_run(const std::vector<std::string>& args) {
     std::vector<JsonRow> json_rows;
     for (const std::string& path : spec_paths) {
         auto spec = scenario::ScenarioSpec::parse_file(path);
+        if (max_steps > 0) {
+            // Truncate the schedule after max_steps total steps, dropping
+            // now-empty phases (reduced CI smoke runs of large specs).
+            std::size_t remaining = max_steps;
+            for (auto& phase : spec.phases) {
+                phase.steps = std::min(phase.steps, remaining);
+                remaining -= phase.steps;
+            }
+            std::erase_if(spec.phases,
+                          [](const scenario::PhaseSpec& p) { return p.steps == 0; });
+        }
         scenario::ScenarioRunner runner(spec);
         auto result = runner.run();
 
@@ -155,7 +198,9 @@ int cmd_run(const std::vector<std::string>& args) {
             std::cout << "wrote trace " << trace_path << "\n";
         }
         json_rows.push_back({spec.name, result.steps_done, result.events.size(),
-                             result.seconds, result.steps_per_sec(), result.passed()});
+                             result.seconds, result.steps_per_sec(),
+                             result.probe_seconds, result.samples.size(),
+                             result.passed()});
     }
     if (!json_path.empty() && write_json(json_path, json_rows) != 0) return 1;
     return all_pass ? 0 : 1;
