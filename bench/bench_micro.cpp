@@ -18,6 +18,8 @@
 #include <type_traits>
 #include <unordered_map>
 
+#include "adversary/adversary.hpp"
+#include "baseline/baselines.hpp"
 #include "core/xheal_healer.hpp"
 #include "expander/hgraph.hpp"
 #include "graph/algorithms.hpp"
@@ -369,6 +371,56 @@ void run_graph_rows(const char* impl, std::size_t n, std::vector<GraphBenchRow>&
                     })});
 }
 
+/// Before/after rows for the preferential-attach sampler: impl "scan"
+/// replicates the old O(n)-per-pick prefix-sum walk; impl "sampler" is the
+/// shipped rejection sampler (adversary::PreferentialAttach). Identical
+/// (degree+1)-proportional distribution, wildly different cost growth.
+void run_pref_attach_rows(std::size_t n, std::vector<GraphBenchRow>& rows) {
+    util::Rng topo_rng(11);
+    core::HealingSession session(workload::make_random_regular(n, 4, topo_rng),
+                                 std::make_unique<baseline::NoHealHealer>());
+    const std::size_t k = 3, picks_per_call = 50;
+
+    rows.push_back({"pref_attach", n, "scan", measure_ops_per_sec(picks_per_call, [&] {
+                        util::Rng rng(42);
+                        const auto& g = session.current();
+                        for (std::size_t p = 0; p < picks_per_call; ++p) {
+                            std::vector<graph::NodeId> pool = session.alive_pool();
+                            std::vector<graph::NodeId> chosen;
+                            for (std::size_t round = 0; round < k && !pool.empty();
+                                 ++round) {
+                                double total = 0.0;
+                                for (graph::NodeId v : pool)
+                                    total += static_cast<double>(g.degree(v) + 1);
+                                double target = rng.uniform01() * total;
+                                std::size_t pick = pool.size() - 1;
+                                double acc = 0.0;
+                                for (std::size_t i = 0; i < pool.size(); ++i) {
+                                    acc += static_cast<double>(g.degree(pool[i]) + 1);
+                                    if (acc >= target) {
+                                        pick = i;
+                                        break;
+                                    }
+                                }
+                                chosen.push_back(pool[pick]);
+                                pool.erase(pool.begin() +
+                                           static_cast<std::ptrdiff_t>(pick));
+                            }
+                            benchmark::DoNotOptimize(chosen.size());
+                        }
+                    })});
+
+    rows.push_back({"pref_attach", n, "sampler",
+                    measure_ops_per_sec(picks_per_call, [&] {
+                        util::Rng rng(42);
+                        adversary::PreferentialAttach attach(k);
+                        for (std::size_t p = 0; p < picks_per_call; ++p) {
+                            auto chosen = attach.pick_neighbors(session, rng);
+                            benchmark::DoNotOptimize(chosen.size());
+                        }
+                    })});
+}
+
 int emit_graph_json(const std::string& path) {
     // Validate the output path before burning seconds of measurement.
     std::ofstream out(path);
@@ -381,10 +433,14 @@ int emit_graph_json(const std::string& path) {
     for (std::size_t n : {std::size_t{1000}, std::size_t{100000}}) {
         run_graph_rows<graph::Graph>("slot", n, rows);
         run_graph_rows<HashGraph>("hash", n, rows);
+        run_pref_attach_rows(n, rows);
     }
     out << "{\n  \"schema\": \"xheal-bench-graph-v1\",\n"
         << "  \"note\": \"ops/sec; impl 'hash' replicates the pre-refactor "
-           "hash-of-hashes storage with its sorted-iteration call pattern\",\n"
+           "hash-of-hashes storage with its sorted-iteration call pattern; op "
+           "'pref_attach' (picks/sec, k=3) compares the old O(n) prefix-sum "
+           "pick ('scan') with the degree-proportional rejection sampler "
+           "('sampler')\",\n"
         << "  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         out << "    {\"op\": \"" << rows[i].op << "\", \"n\": " << rows[i].n

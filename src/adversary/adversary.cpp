@@ -118,26 +118,26 @@ std::vector<NodeId> PreferentialAttach::pick_neighbors(const HealingSession& ses
     if (alive.empty()) return {};
     std::size_t k = std::min(k_, alive.size());
 
-    // Degree-proportional sampling without replacement (degree + 1 so
-    // isolated nodes stay reachable).
-    std::vector<NodeId> pool = alive;
+    // (degree + 1)-proportional sampling without replacement (the +1 keeps
+    // isolated nodes reachable), by rejection against the incrementally
+    // maintained degree maximum: draw v uniformly from the alive pool and a
+    // uniform threshold in [0, max_degree]; accept when the threshold lands
+    // inside v's degree+1 slots. Equivalent to sampling a uniform occupied
+    // cell of the (alive x max_degree+1) edge-endpoint matrix of the slot
+    // graph, so acceptance is exact without any O(n) weight scan — the old
+    // implementation recomputed the full prefix-sum per pick. Expected
+    // trials per accept are (max_degree+1)/(mean_degree+1): O(1) whenever
+    // max/mean degree is bounded, which the Lemma 3 degree invariant
+    // guarantees for healed graphs (a star under no-heal degrades to the
+    // old O(n) — the bench row pref_attach tracks the regular case).
+    std::size_t max_degree = g.max_degree();
     std::vector<NodeId> chosen;
     chosen.reserve(k);
-    for (std::size_t round = 0; round < k && !pool.empty(); ++round) {
-        double total = 0.0;
-        for (NodeId v : pool) total += static_cast<double>(g.degree(v) + 1);
-        double target = rng.uniform01() * total;
-        std::size_t pick_index = pool.size() - 1;
-        double acc = 0.0;
-        for (std::size_t i = 0; i < pool.size(); ++i) {
-            acc += static_cast<double>(g.degree(pool[i]) + 1);
-            if (acc >= target) {
-                pick_index = i;
-                break;
-            }
-        }
-        chosen.push_back(pool[pick_index]);
-        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick_index));
+    while (chosen.size() < k) {
+        NodeId v = alive[rng.index(alive.size())];
+        if (rng.uniform_u64(0, max_degree) > g.degree(v)) continue;
+        if (std::find(chosen.begin(), chosen.end(), v) == chosen.end())
+            chosen.push_back(v);
     }
     std::sort(chosen.begin(), chosen.end());
     return chosen;

@@ -53,4 +53,50 @@ void check_session(const HealingSession& session, std::size_t kappa) {
     session.healer().check_consistency(session.current());
 }
 
+namespace {
+
+/// Run one throwing check, converting a contract violation (or any other
+/// exception the check surfaces) into a finding under `oracle`.
+template <typename F>
+void run_oracle(const char* oracle, std::vector<InvariantFinding>& out, F&& check) {
+    try {
+        check();
+    } catch (const std::exception& e) {
+        out.push_back({oracle, e.what()});
+    }
+}
+
+}  // namespace
+
+void InvariantSuite::check_structural(const HealingSession& session,
+                                      std::vector<InvariantFinding>& out) const {
+    const graph::Graph& g = session.current();
+    run_oracle("graph-consistency", out, [&] { check_graph_consistency(g); });
+    run_oracle("reference-edges", out,
+               [&] { check_reference_edges_present(g, session.reference()); });
+    run_oracle("connectivity", out, [&] { check_connected(g); });
+    if (degree_bound_)
+        run_oracle("degree-bound", out,
+                   [&] { check_degree_bound(g, session.reference(), kappa_); });
+    run_oracle("healer-consistency", out,
+               [&] { session.healer().check_consistency(g); });
+    for (const Hook& hook : hooks_)
+        run_oracle(hook.oracle.c_str(), out, [&] {
+            std::string failure = hook.check(session);
+            if (!failure.empty()) throw util::ContractViolation(failure);
+        });
+}
+
+void InvariantSuite::check_spectral(const HealingSession& session,
+                                    std::vector<InvariantFinding>& out) const {
+    if (!spectral_enabled()) return;
+    run_oracle("lambda2-floor", out, [&] {
+        double lambda2 = lambda2_probe_(session.current());
+        if (!(lambda2 >= lambda2_floor_))
+            throw util::ContractViolation("lambda2 " + std::to_string(lambda2) +
+                                          " below floor " +
+                                          std::to_string(lambda2_floor_));
+    });
+}
+
 }  // namespace xheal::core

@@ -1,6 +1,14 @@
 // Invariant checks asserted by tests and failure-injection runs. Every
 // check throws util::ContractViolation with a description on failure.
+// InvariantSuite bundles the same checks into a non-throwing oracle set for
+// the trace-forensics layer (trace_tools), which must keep executing after
+// a violation to record *where* a candidate event stream went wrong.
 #pragma once
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "core/session.hpp"
 #include "graph/graph.hpp"
@@ -24,5 +32,77 @@ void check_degree_bound(const graph::Graph& g, const graph::Graph& ref, std::siz
 
 /// All of the above plus the healer's internal consistency check.
 void check_session(const HealingSession& session, std::size_t kappa);
+
+/// One oracle failure observed by InvariantSuite: which oracle fired and
+/// the contract message it produced.
+struct InvariantFinding {
+    std::string oracle;
+    std::string message;
+};
+
+/// The reusable, non-throwing oracle bundle behind trace-driven fuzzing and
+/// shrinking (and any other caller that wants "did anything break?" instead
+/// of an exception). Each enabled oracle converts a ContractViolation into
+/// an InvariantFinding; callers decide what a finding means.
+///
+/// Oracles are split by cost so callers can run the structural set after
+/// every event and the spectral set only at a coarser cadence:
+///   structural — claim-mirror/graph consistency, reference-edge presence,
+///                connectivity, the Lemma 3 degree bound (xheal-family
+///                healers; disable for baselines, whose degree is unbounded
+///                by design), the healer's own deep self-check, plus any
+///                registered hooks (e.g. allocation-soak counters).
+///   spectral   — lambda2 floor through a caller-supplied probe (the PR 3
+///                sparse ProbeEngine in trace_tools), enabled by
+///                set_lambda2_floor.
+class InvariantSuite {
+public:
+    explicit InvariantSuite(std::size_t kappa = 1) : kappa_(kappa) {}
+
+    std::size_t kappa() const { return kappa_; }
+
+    /// The degree-bound oracle asserts Lemma 3, which only the xheal family
+    /// guarantees; leave it off when executing against baseline healers.
+    void enable_degree_bound(bool on) { degree_bound_ = on; }
+
+    /// Enable the lambda2-floor oracle: `probe` computes lambda2 of the
+    /// healed graph (trace_tools wires in spectral::ProbeEngine); a reading
+    /// below `floor` is a finding. NaN floor disables.
+    void set_lambda2_floor(double floor, std::function<double(const graph::Graph&)> probe) {
+        lambda2_floor_ = floor;
+        lambda2_probe_ = std::move(probe);
+    }
+
+    /// Register an extra per-check hook (soak counters, custom oracles).
+    /// The hook returns an empty string to pass, or a failure description.
+    void add_hook(std::string oracle,
+                  std::function<std::string(const HealingSession&)> hook) {
+        hooks_.push_back({std::move(oracle), std::move(hook)});
+    }
+
+    /// Run the cheap structural oracles, appending findings to `out`.
+    void check_structural(const HealingSession& session,
+                          std::vector<InvariantFinding>& out) const;
+
+    /// Run the lambda2-floor oracle if configured (expensive at scale).
+    void check_spectral(const HealingSession& session,
+                        std::vector<InvariantFinding>& out) const;
+
+    bool spectral_enabled() const {
+        return lambda2_probe_ != nullptr && !std::isnan(lambda2_floor_);
+    }
+
+private:
+    struct Hook {
+        std::string oracle;
+        std::function<std::string(const HealingSession&)> check;
+    };
+
+    std::size_t kappa_;
+    bool degree_bound_ = true;
+    double lambda2_floor_ = std::nan("");
+    std::function<double(const graph::Graph&)> lambda2_probe_;
+    std::vector<Hook> hooks_;
+};
 
 }  // namespace xheal::core

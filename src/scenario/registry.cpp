@@ -1,9 +1,11 @@
 #include "scenario/registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "baseline/baselines.hpp"
 #include "core/distributed_xheal.hpp"
+#include "core/fault_injection.hpp"
 #include "core/xheal_healer.hpp"
 #include "workload/generators.hpp"
 
@@ -87,6 +89,32 @@ HealerHandle make_healer(const ComponentSpec& spec, std::uint64_t default_seed) 
     } else if (kind == "random-match") {
         handle.healer = std::make_unique<baseline::RandomMatchHealer>(
             spec.get_u64("k", 3), spec.get_u64("seed", default_seed));
+    } else if (kind == "faulty") {
+        // Test-only fault injection for the trace-forensics layer: wraps a
+        // *stateless* baseline healer and skips its repair every
+        // drop_every-th deletion. Registered so shrunk reproducers can name
+        // the broken healer in a standalone .scn. Whitelist, not blacklist:
+        // skipping a stateful healer's on_delete desynchronizes its
+        // bookkeeping from the graph (fault_injection.hpp), so any future
+        // healer kind must opt in here explicitly.
+        static const std::vector<std::string> stateless = {
+            "no-heal", "line", "cycle", "star", "forgiving-tree", "random-match"};
+        std::string inner_kind = spec.has("inner") ? spec.params.at("inner") : "cycle";
+        if (std::find(stateless.begin(), stateless.end(), inner_kind) ==
+            stateless.end()) {
+            std::string list;
+            for (const auto& s : stateless) list += (list.empty() ? "" : " ") + s;
+            throw std::runtime_error("faulty healer: inner must be a stateless baseline (" +
+                                     list + "), got '" + inner_kind + "'");
+        }
+        // Forward inner.* params (e.g. inner.k for random-match).
+        ComponentSpec inner_spec{inner_kind, {}};
+        for (const auto& [key, value] : spec.params)
+            if (key.rfind("inner.", 0) == 0) inner_spec.params[key.substr(6)] = value;
+        HealerHandle inner = make_healer(inner_spec, default_seed);
+        handle.kappa = inner.kappa;
+        handle.healer = std::make_unique<core::FaultInjectingHealer>(
+            std::move(inner.healer), spec.get_u64("drop_every", 3));
     } else {
         unknown("healer", kind);
     }
@@ -95,7 +123,8 @@ HealerHandle make_healer(const ComponentSpec& spec, std::uint64_t default_seed) 
 
 std::vector<std::string> healer_names() {
     return {"xheal", "xheal-dist", "no-heal",      "line",
-            "cycle", "star",       "forgiving-tree", "random-match"};
+            "cycle", "star",       "forgiving-tree", "random-match",
+            "faulty"};
 }
 
 std::unique_ptr<adversary::DeletionStrategy> make_deleter(

@@ -40,7 +40,10 @@ struct HealerHandle {
 
 /// Kinds: xheal | xheal-dist (params d=4 seed=<spec seed> rebuild=true),
 /// no-heal | line | cycle | star | forgiving-tree,
-/// random-match (k=3 seed=<spec seed>).
+/// random-match (k=3 seed=<spec seed>),
+/// faulty (params inner=cycle drop_every=3 inner.*=... — test-only fault
+/// injection wrapping a whitelisted stateless baseline, inner.* params
+/// forwarded to it; see core/fault_injection.hpp).
 /// `default_seed` seeds healers whose spec omits seed= (the scenario seed).
 HealerHandle make_healer(const ComponentSpec& spec, std::uint64_t default_seed);
 std::vector<std::string> healer_names();

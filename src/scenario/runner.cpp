@@ -16,6 +16,8 @@ namespace {
 /// cadence never perturbs adversary decisions.
 constexpr std::uint64_t probe_salt = 0x70726f6265735full;
 
+}  // namespace
+
 core::HealingSession build_session(const ScenarioSpec& spec, util::Rng& rng,
                                    graph::Graph* prebuilt, std::size_t& kappa,
                                    const core::CloudRegistry*& registry) {
@@ -27,17 +29,20 @@ core::HealingSession build_session(const ScenarioSpec& spec, util::Rng& rng,
     return core::HealingSession(std::move(initial), std::move(handle.healer));
 }
 
-}  // namespace
-
-Trace RunResult::to_trace(const ScenarioSpec& spec) const {
+Trace make_trace(const ScenarioSpec& spec, std::vector<TraceEvent> events,
+                 std::uint64_t trace_hash, std::uint64_t fingerprint) {
     Trace trace;
     trace.scenario = spec.name;
     trace.seed = spec.seed;
     trace.spec_hash = spec.content_hash();
-    trace.events = events;
+    trace.events = std::move(events);
     trace.trace_hash = trace_hash;
     trace.fingerprint = fingerprint;
     return trace;
+}
+
+Trace RunResult::to_trace(const ScenarioSpec& spec) const {
+    return make_trace(spec, events, trace_hash, fingerprint);
 }
 
 ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec)

@@ -24,6 +24,22 @@
 
 namespace xheal::scenario {
 
+/// Build the session a spec describes: topology drawn from `rng` (which
+/// must sit at the position construction expects — the master stream's
+/// start), healer seeded by the spec. `prebuilt` (optional) replaces the
+/// spec topology; `kappa`/`registry` receive the healer capability
+/// handles. Shared by ScenarioRunner and trace_tools::TraceExecutor — the
+/// byte-for-byte replay guarantee of recorded traces and shrunk
+/// reproducers rests on every consumer building sessions identically.
+core::HealingSession build_session(const ScenarioSpec& spec, util::Rng& rng,
+                                   graph::Graph* prebuilt, std::size_t& kappa,
+                                   const core::CloudRegistry*& registry);
+
+/// Assemble a serializable trace from a spec plus a recorded event stream
+/// and its hashes (shared by RunResult::to_trace and ExecResult::to_trace).
+Trace make_trace(const ScenarioSpec& spec, std::vector<TraceEvent> events,
+                 std::uint64_t trace_hash, std::uint64_t fingerprint);
+
 /// One row of the sampled metric time series. Probe-gated metrics default
 /// to NaN ("not sampled"); counters are always filled.
 ///

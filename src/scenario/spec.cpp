@@ -56,7 +56,8 @@ double parse_double(const std::string& text, const std::string& what) {
 std::uint64_t parse_u64(const std::string& text, const std::string& what) {
     char* end = nullptr;
     std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0')
+    // strtoull silently wraps negatives ("-3" -> 2^64-3); reject them.
+    if (end == text.c_str() || *end != '\0' || text[0] == '-')
         throw std::runtime_error(what + ": bad integer '" + text + "'");
     return v;
 }

@@ -14,12 +14,6 @@ namespace {
     throw std::runtime_error("trace line " + std::to_string(line_no) + ": " + what);
 }
 
-std::string hex64(std::uint64_t v) {
-    char buf[19];
-    std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
-    return buf;
-}
-
 /// Extract the raw value text after `"key":` in a one-line JSON object
 /// (up to the next ',' or '}' for scalars; the bracketed list for arrays).
 /// Only handles the flat objects this module writes.
@@ -54,6 +48,12 @@ std::uint64_t extract_u64(const std::string& line, const std::string& key,
 }
 
 }  // namespace
+
+std::string hex64(std::uint64_t value) {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(value));
+    return buf;
+}
 
 void TraceHasher::mix(std::uint64_t word) {
     for (int byte = 0; byte < 8; ++byte) {
@@ -94,22 +94,26 @@ std::uint64_t graph_fingerprint(const graph::Graph& g) {
     return hash;
 }
 
+std::string event_to_json(const TraceEvent& e) {
+    std::ostringstream out;
+    if (e.kind == TraceEvent::Kind::insert) {
+        out << "{\"type\":\"insert\",\"step\":" << e.step << ",\"phase\":" << e.phase
+            << ",\"node\":" << e.node << ",\"neighbors\":[";
+        for (std::size_t i = 0; i < e.neighbors.size(); ++i)
+            out << (i ? "," : "") << e.neighbors[i];
+        out << "]}";
+    } else {
+        out << "{\"type\":\"delete\",\"step\":" << e.step << ",\"phase\":" << e.phase
+            << ",\"node\":" << e.node << "}";
+    }
+    return out.str();
+}
+
 void write_trace(std::ostream& out, const Trace& trace) {
     out << "{\"type\":\"header\",\"scenario\":\"" << trace.scenario
         << "\",\"seed\":" << trace.seed << ",\"spec_hash\":\"" << hex64(trace.spec_hash)
         << "\"}\n";
-    for (const TraceEvent& e : trace.events) {
-        if (e.kind == TraceEvent::Kind::insert) {
-            out << "{\"type\":\"insert\",\"step\":" << e.step << ",\"phase\":" << e.phase
-                << ",\"node\":" << e.node << ",\"neighbors\":[";
-            for (std::size_t i = 0; i < e.neighbors.size(); ++i)
-                out << (i ? "," : "") << e.neighbors[i];
-            out << "]}\n";
-        } else {
-            out << "{\"type\":\"delete\",\"step\":" << e.step << ",\"phase\":" << e.phase
-                << ",\"node\":" << e.node << "}\n";
-        }
-    }
+    for (const TraceEvent& e : trace.events) out << event_to_json(e) << "\n";
     out << "{\"type\":\"end\",\"events\":" << trace.events.size() << ",\"trace_hash\":\""
         << hex64(trace.trace_hash) << "\",\"fingerprint\":\"" << hex64(trace.fingerprint)
         << "\"}\n";

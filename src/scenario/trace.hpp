@@ -30,7 +30,17 @@ struct TraceEvent {
     std::uint32_t phase = 0;  ///< index into the spec's phase list
     graph::NodeId node = graph::invalid_node;
     std::vector<graph::NodeId> neighbors;  ///< insert only: attach set
+
+    friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
+
+/// The JSONL line of one event, exactly as write_trace emits it (no
+/// trailing newline) — shared by the writer and the diff renderer.
+std::string event_to_json(const TraceEvent& event);
+
+/// "0x%016llx" rendering of a trace hash/fingerprint, as written in the
+/// header/end records — shared by the writer, diff output and the CLI.
+std::string hex64(std::uint64_t value);
 
 /// Running FNV-1a 64 over a canonical byte encoding of the event stream.
 class TraceHasher {

@@ -1,0 +1,103 @@
+#include "trace_tools/diff.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xheal::trace_tools {
+
+using scenario::Trace;
+using scenario::TraceEvent;
+using scenario::hex64;
+
+namespace {
+
+/// First differing field of two events, in report priority order.
+std::string divergent_field(const TraceEvent& a, const TraceEvent& b) {
+    if (a.kind != b.kind) return "kind";
+    if (a.node != b.node) return "node";
+    if (a.neighbors != b.neighbors) return "neighbors";
+    if (a.step != b.step) return "step";
+    if (a.phase != b.phase) return "phase";
+    return "";
+}
+
+}  // namespace
+
+DiffResult diff_traces(const Trace& a, const Trace& b) {
+    DiffResult result;
+
+    std::ostringstream header;
+    if (a.scenario != b.scenario)
+        header << "scenario '" << a.scenario << "' vs '" << b.scenario << "'; ";
+    if (a.seed != b.seed) header << "seed " << a.seed << " vs " << b.seed << "; ";
+    if (a.spec_hash != b.spec_hash)
+        header << "spec_hash " << hex64(a.spec_hash) << " vs " << hex64(b.spec_hash)
+               << "; ";
+    result.header_note = header.str();
+    if (!result.header_note.empty()) {
+        result.header_note.resize(result.header_note.size() - 2);  // trim "; "
+        result.header_equal = false;
+    }
+
+    std::size_t common = std::min(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (a.events[i] == b.events[i]) continue;
+        result.divergence_index = i;
+        result.divergence_field = divergent_field(a.events[i], b.events[i]);
+        break;
+    }
+    if (result.divergence_index == DiffResult::npos &&
+        a.events.size() != b.events.size()) {
+        result.divergence_index = common;
+        result.divergence_field = "length";
+    }
+
+    result.trace_hash_equal = a.trace_hash == b.trace_hash;
+    result.fingerprint_equal = a.fingerprint == b.fingerprint;
+    return result;
+}
+
+std::string format_diff(const DiffResult& diff, const Trace& a, const Trace& b,
+                        std::size_t context) {
+    std::ostringstream out;
+    if (diff.identical()) {
+        out << "traces identical: " << a.events.size() << " events, trace_hash "
+            << hex64(a.trace_hash) << ", fingerprint " << hex64(a.fingerprint) << "\n";
+        return out.str();
+    }
+    if (!diff.header_equal) out << "header differs: " << diff.header_note << "\n";
+
+    if (!diff.events_equal()) {
+        std::size_t at = diff.divergence_index;
+        out << "first divergent event: index " << at << " (" << diff.divergence_field
+            << ") — a has " << a.events.size() << " events, b has " << b.events.size()
+            << "\n";
+        auto print_side = [&](const char* name, const Trace& t) {
+            std::size_t from = at > context ? at - context : 0;
+            std::size_t to = std::min(t.events.size(), at + context + 1);
+            for (std::size_t i = from; i < to; ++i)
+                out << (i == at ? "> " : "  ") << name << "[" << i << "] "
+                    << scenario::event_to_json(t.events[i]) << "\n";
+            if (at >= t.events.size())
+                out << "> " << name << "[" << at << "] <end of trace>\n";
+        };
+        print_side("a", a);
+        print_side("b", b);
+    } else {
+        out << "event streams identical (" << a.events.size() << " events)\n";
+    }
+
+    if (!diff.trace_hash_equal)
+        out << "trace_hash differs: " << hex64(a.trace_hash) << " vs "
+            << hex64(b.trace_hash) << "\n";
+    if (!diff.fingerprint_equal)
+        out << "fingerprint differs: " << hex64(a.fingerprint) << " vs "
+            << hex64(b.fingerprint)
+            << (diff.events_equal()
+                    ? " (same events, different final graph — healer-side divergence)"
+                    : "")
+            << "\n";
+    return out.str();
+}
+
+}  // namespace xheal::trace_tools

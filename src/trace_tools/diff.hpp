@@ -1,0 +1,50 @@
+// TraceDiff — structural comparison of two recorded traces, built to
+// answer the debugging question "where did this re-run depart from the
+// recording?". The unit of comparison is the event, not the byte: the
+// result names the first divergent event index and which field moved
+// (kind / step / phase / node / neighbor set), and the renderer prints the
+// divergent pair with surrounding context lines in the trace's own JSONL
+// form so the output can be grepped straight back into the files.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "scenario/trace.hpp"
+
+namespace xheal::trace_tools {
+
+struct DiffResult {
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /// Header fields (scenario / seed / spec_hash) all equal.
+    bool header_equal = true;
+    std::string header_note;  ///< human description of header differences
+
+    /// Index of the first event where the streams differ; npos when the
+    /// common prefix covers both (equal streams or one is a prefix).
+    std::size_t divergence_index = npos;
+    std::string divergence_field;  ///< "kind" / "step" / "phase" / "node" /
+                                   ///< "neighbors" / "length"
+
+    /// End-record comparison (hashes can differ even with identical event
+    /// streams: the fingerprint sees the healer's work, not just events).
+    bool trace_hash_equal = true;
+    bool fingerprint_equal = true;
+
+    bool events_equal() const { return divergence_index == npos; }
+    bool identical() const {
+        return header_equal && events_equal() && trace_hash_equal && fingerprint_equal;
+    }
+};
+
+/// Compare two parsed traces structurally.
+DiffResult diff_traces(const scenario::Trace& a, const scenario::Trace& b);
+
+/// Render a diff for humans: header/end notes plus the first divergent
+/// event with up to `context` preceding and following events from each
+/// side, in JSONL form. Lines of the divergent pair are marked '>'.
+std::string format_diff(const DiffResult& diff, const scenario::Trace& a,
+                        const scenario::Trace& b, std::size_t context = 3);
+
+}  // namespace xheal::trace_tools

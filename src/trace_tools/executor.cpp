@@ -1,0 +1,158 @@
+#include "trace_tools/executor.hpp"
+
+#include <algorithm>
+
+#include "scenario/runner.hpp"
+#include "util/rng.hpp"
+
+namespace xheal::trace_tools {
+
+using scenario::ScenarioSpec;
+using scenario::Trace;
+using scenario::TraceEvent;
+
+Trace ExecResult::to_trace(const ScenarioSpec& spec) const {
+    return scenario::make_trace(spec, applied, trace_hash, fingerprint);
+}
+
+ExecResult TraceExecutor::execute(const ScenarioSpec& spec,
+                                  const std::vector<TraceEvent>& events) {
+    // scenario::build_session is the same constructor path ScenarioRunner
+    // uses (master Rng at spec.seed draws the topology, the healer takes
+    // its own seed) — sharing it is what makes canonical traces replayable
+    // through ScenarioRunner byte-for-byte.
+    util::Rng rng(spec.seed);
+    std::size_t kappa = 1;
+    const core::CloudRegistry* registry = nullptr;
+    core::HealingSession session =
+        scenario::build_session(spec, rng, nullptr, kappa, registry);
+
+    core::InvariantSuite suite(kappa);
+    suite.enable_degree_bound(options_.degree_bound && registry != nullptr);
+    if (!std::isnan(options_.lambda2_floor))
+        suite.set_lambda2_floor(options_.lambda2_floor, [this](const graph::Graph& g) {
+            return probe_engine_.lambda2(g);
+        });
+    if (options_.configure_suite) options_.configure_suite(suite);
+
+    ExecResult result;
+    scenario::TraceHasher hasher;
+    std::vector<core::InvariantFinding> findings;
+
+    auto record_findings = [&](std::size_t event_index) {
+        for (core::InvariantFinding& f : findings)
+            result.violations.push_back(
+                {event_index, std::move(f.oracle), std::move(f.message)});
+        findings.clear();
+    };
+
+    // The healer may throw mid-event (a stateful healer driven past its
+    // contract, or an injected fault gone wrong) — that is a finding, not a
+    // tool crash. The throwing event is *kept* in the canonical stream
+    // (re-execution reproduces the same exception at the same index), but
+    // the session is unusable afterwards, so execution stops
+    // unconditionally. Note such streams cannot go through the strict
+    // ScenarioRunner::replay — it surfaces the same exception, which is the
+    // reproduction.
+    bool session_dead = false;
+    auto record_exception = [&](const std::exception& e) {
+        result.violations.push_back(
+            {result.applied.size() - 1, "healer-exception", e.what()});
+        session_dead = true;
+    };
+
+    std::size_t since_check = 0;
+    for (const TraceEvent& event : events) {
+        bool applied = false;
+        TraceEvent canonical;
+        if (event.kind == TraceEvent::Kind::remove) {
+            if (session.current().has_node(event.node) &&
+                session.current().node_count() > options_.min_alive) {
+                canonical = event;
+                // A stray neighbors field on a delete would enter the
+                // stream hash but never survive the JSONL round-trip.
+                canonical.neighbors.clear();
+                canonical.step = result.applied.size();
+                hasher.add(canonical);
+                result.applied.push_back(std::move(canonical));
+                applied = true;
+                try {
+                    session.delete_node(event.node);
+                } catch (const std::exception& e) {
+                    record_exception(e);
+                    break;
+                }
+            }
+        } else {
+            canonical = event;
+            canonical.neighbors.erase(
+                std::remove_if(canonical.neighbors.begin(), canonical.neighbors.end(),
+                               [&](graph::NodeId u) {
+                                   return !session.current().has_node(u);
+                               }),
+                canonical.neighbors.end());
+            std::sort(canonical.neighbors.begin(), canonical.neighbors.end());
+            canonical.neighbors.erase(
+                std::unique(canonical.neighbors.begin(), canonical.neighbors.end()),
+                canonical.neighbors.end());
+            if (!canonical.neighbors.empty()) {
+                // Capture the id this insert will get *before* the call:
+                // the session allocates the node (advancing next_id) before
+                // the healer runs, so reading next_id in the catch would be
+                // one past the assigned id.
+                graph::NodeId assigned = session.current().next_id();
+                try {
+                    assigned = session.insert_node(canonical.neighbors);
+                } catch (const std::exception& e) {
+                    canonical.node = assigned;
+                    canonical.step = result.applied.size();
+                    hasher.add(canonical);
+                    result.applied.push_back(std::move(canonical));
+                    record_exception(e);
+                    break;
+                }
+                canonical.node = assigned;
+                canonical.step = result.applied.size();
+                hasher.add(canonical);
+                result.applied.push_back(std::move(canonical));
+                applied = true;
+            }
+        }
+        if (!applied) {
+            ++result.skipped;
+            continue;
+        }
+
+        ++since_check;
+        bool due = options_.check_every != 0 && since_check >= options_.check_every;
+        if (due) {
+            since_check = 0;
+            suite.check_structural(session, findings);
+            record_findings(result.applied.size() - 1);
+            if (options_.stop_on_violation && result.failed()) break;
+        }
+    }
+
+    // Final checks: the structural set if the cadence missed the last
+    // event, then the spectral oracle (violations found here are located at
+    // the last applied event). A session killed by a healer exception is
+    // not probed further.
+    if (!session_dead && (!result.failed() || !options_.stop_on_violation)) {
+        std::size_t final_index =
+            result.applied.empty() ? 0 : result.applied.size() - 1;
+        if (since_check != 0 || options_.check_every == 0) {
+            suite.check_structural(session, findings);
+            record_findings(final_index);
+        }
+        if (!(options_.stop_on_violation && result.failed())) {
+            suite.check_spectral(session, findings);
+            record_findings(final_index);
+        }
+    }
+
+    result.trace_hash = hasher.value();
+    result.fingerprint = scenario::graph_fingerprint(session.current());
+    return result;
+}
+
+}  // namespace xheal::trace_tools

@@ -1,0 +1,98 @@
+// TraceExecutor — the engine under the trace-forensics tools (diff replay,
+// fuzzing, shrinking): apply an *arbitrary* event stream to a fresh session
+// built from a spec, best-effort, with the full invariant oracle suite
+// running as the stream executes.
+//
+// ScenarioRunner::replay is strict — it throws on any spec/trace mismatch,
+// which is correct for the determinism check but useless for mutated or
+// partially-deleted streams. The executor instead *skips* infeasible events
+// (deleting a dead node, inserting against no live neighbor) and records
+// the events it actually applied as a canonical trace: steps renumbered
+// 0..k-1, insert node ids as the session assigned them, neighbors filtered
+// to the live set. Because the session is built exactly the way
+// ScenarioRunner builds it (master Rng at spec.seed draws the topology,
+// the healer gets its own seed), a canonical trace replays byte-for-byte
+// through `xheal_run replay` against the same spec — that is what makes
+// shrunk reproducers standalone.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/invariants.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/trace.hpp"
+#include "spectral/probes.hpp"
+
+namespace xheal::trace_tools {
+
+struct ExecOptions {
+    /// Run the structural oracles after every `check_every`-th applied
+    /// event (and always after the last one). 0 = final check only.
+    std::size_t check_every = 1;
+    /// lambda2 floor for the spectral oracle; NaN disables. Checked after
+    /// the final event only (it is the expensive oracle).
+    double lambda2_floor = std::nan("");
+    /// Check the Lemma 3 degree bound. Only meaningful for xheal-family
+    /// healers — the executor drops it automatically when the spec's healer
+    /// provides no cloud registry (baselines have unbounded degree).
+    bool degree_bound = true;
+    /// Stop applying events at the first finding (the tail of the stream
+    /// cannot un-break an invariant, and shrinking wants the shortest
+    /// failing prefix anyway).
+    bool stop_on_violation = true;
+    /// Never apply a delete at or below this population.
+    std::size_t min_alive = 2;
+    /// Caller hook to extend the oracle set (soak counters, extra checks)
+    /// before execution starts.
+    std::function<void(core::InvariantSuite&)> configure_suite;
+};
+
+/// One oracle finding, located in the canonical applied stream: the
+/// violation was observed right after applying event `event_index` (the
+/// last applied event for the final structural/spectral pass; 0 when the
+/// stream applied nothing at all).
+struct ExecViolation {
+    std::size_t event_index = 0;
+    std::string oracle;
+    std::string message;
+};
+
+struct ExecResult {
+    /// Canonical applied events (see file comment). A prefix of the input
+    /// modulo skipped events when stop_on_violation hit.
+    std::vector<scenario::TraceEvent> applied;
+    std::uint64_t trace_hash = 0;   ///< FNV stream hash of `applied`
+    std::uint64_t fingerprint = 0;  ///< final healed graph
+    std::size_t skipped = 0;        ///< infeasible input events dropped
+    std::vector<ExecViolation> violations;
+
+    bool failed() const { return !violations.empty(); }
+    /// The canonical stream as a serializable trace for the given spec
+    /// (replays byte-for-byte through ScenarioRunner::replay).
+    scenario::Trace to_trace(const scenario::ScenarioSpec& spec) const;
+};
+
+class TraceExecutor {
+public:
+    explicit TraceExecutor(ExecOptions options = {}) : options_(std::move(options)) {}
+
+    const ExecOptions& options() const { return options_; }
+
+    /// Build a fresh session from `spec` (topology/healer/seed; the phase
+    /// schedule is ignored) and apply `events` best-effort under the
+    /// oracles. Deterministic: same spec + events => same result.
+    ExecResult execute(const scenario::ScenarioSpec& spec,
+                       const std::vector<scenario::TraceEvent>& events);
+
+private:
+    ExecOptions options_;
+    /// Sparse probe layer behind the lambda2 oracle, reused across
+    /// candidates so fuzzing does not re-allocate probe scratch per run.
+    spectral::ProbeEngine probe_engine_;
+};
+
+}  // namespace xheal::trace_tools

@@ -1,0 +1,114 @@
+#include "trace_tools/shrink.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace xheal::trace_tools {
+
+using scenario::ScenarioSpec;
+using scenario::TraceEvent;
+
+namespace {
+
+/// The events of `current` minus the chunk [begin, end).
+std::vector<TraceEvent> without(const std::vector<TraceEvent>& current,
+                                std::size_t begin, std::size_t end) {
+    std::vector<TraceEvent> out;
+    out.reserve(current.size() - (end - begin));
+    out.insert(out.end(), current.begin(),
+               current.begin() + static_cast<std::ptrdiff_t>(begin));
+    out.insert(out.end(), current.begin() + static_cast<std::ptrdiff_t>(end),
+               current.end());
+    return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const ScenarioSpec& spec, const std::vector<TraceEvent>& events,
+                    const ShrinkOptions& options) {
+    TraceExecutor executor(options.exec);
+    ShrinkResult result;
+    result.input_events = events.size();
+
+    ExecResult exec = executor.execute(spec, events);
+    ++result.tests_run;
+    if (!exec.failed()) return result;
+    result.input_failed = true;
+
+    // Work on the canonical applied stream: feasible by construction,
+    // already cut at the first violation, and `exec` is by definition its
+    // execution result (re-applying a canonical stream reproduces the
+    // identical session history).
+    ExecResult best = std::move(exec);
+    std::vector<TraceEvent> current = best.applied;
+
+    std::size_t granularity = 2;
+    while (current.size() >= 2 && result.tests_run < options.max_tests) {
+        std::size_t chunk_count = std::min(granularity, current.size());
+        std::size_t chunk_size = (current.size() + chunk_count - 1) / chunk_count;
+        bool reduced = false;
+
+        for (std::size_t begin = 0; begin < current.size() && !reduced;
+             begin += chunk_size) {
+            if (result.tests_run >= options.max_tests) break;
+            std::size_t end = std::min(begin + chunk_size, current.size());
+
+            // ddmin tests each chunk alone ("reduce to subset") and its
+            // complement ("reduce to complement"); either way the stream
+            // strictly shrinks on success.
+            std::vector<TraceEvent> subset(
+                current.begin() + static_cast<std::ptrdiff_t>(begin),
+                current.begin() + static_cast<std::ptrdiff_t>(end));
+            if (subset.size() < current.size()) {
+                ExecResult attempt = executor.execute(spec, subset);
+                ++result.tests_run;
+                if (attempt.failed()) {
+                    best = std::move(attempt);
+                    current = best.applied;
+                    granularity = 2;
+                    reduced = true;
+                    break;
+                }
+            }
+
+            std::vector<TraceEvent> complement = without(current, begin, end);
+            if (complement.size() < current.size()) {
+                ExecResult attempt = executor.execute(spec, complement);
+                ++result.tests_run;
+                if (attempt.failed()) {
+                    best = std::move(attempt);
+                    current = best.applied;
+                    granularity = std::max<std::size_t>(2, granularity - 1);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+
+        if (!reduced) {
+            if (chunk_count >= current.size()) break;  // 1-minimal
+            granularity = std::min(granularity * 2, current.size());
+        }
+    }
+
+    result.exec = std::move(best);
+    return result;
+}
+
+std::pair<std::string, std::string> write_reproducer(const std::string& base_path,
+                                                     const ScenarioSpec& spec,
+                                                     const ShrinkResult& result) {
+    std::string scn_path = base_path + ".scn";
+    std::string trace_path = base_path + ".jsonl";
+
+    std::ofstream scn(scn_path);
+    if (!scn) throw std::runtime_error("cannot write reproducer spec: " + scn_path);
+    scn << spec.to_text();
+    scn.close();
+
+    scenario::write_trace_file(trace_path, result.exec.to_trace(spec));
+    return {scn_path, trace_path};
+}
+
+}  // namespace xheal::trace_tools

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "adversary/adversary.hpp"
 #include "baseline/baselines.hpp"
 #include "core/xheal_healer.hpp"
@@ -122,6 +125,60 @@ TEST(Adversary, PreferentialAttachFavorsHubs) {
     }
     // Hub holds half the total degree mass; uniform would give ~3 hits.
     EXPECT_GT(hub_hits, 15);
+}
+
+TEST(Adversary, PreferentialAttachMatchesDegreePlusOneDistribution) {
+    // Chi-square goodness-of-fit of the rejection sampler against the exact
+    // (degree+1)-proportional target, on a graph with a wide degree spread:
+    // a star core (hub degree 11) plus a path tail of low-degree nodes.
+    Graph g = wl::make_star(11);
+    for (NodeId v = 12; v < 16; ++v) {
+        g.add_node();
+        g.add_black_edge(v, v - 1);
+    }
+    auto s = make_session(std::move(g));
+    const auto& cur = s.current();
+
+    util::Rng rng(123);
+    PreferentialAttach attach(1);
+    std::map<NodeId, std::size_t> observed;
+    const std::size_t trials = 40000;
+    for (std::size_t t = 0; t < trials; ++t) {
+        auto nbrs = attach.pick_neighbors(s, rng);
+        ASSERT_EQ(nbrs.size(), 1u);
+        ++observed[nbrs[0]];
+    }
+
+    double total_weight = 0.0;
+    for (NodeId v : cur.nodes()) total_weight += static_cast<double>(cur.degree(v) + 1);
+    double chi2 = 0.0;
+    std::size_t cells = 0;
+    for (NodeId v : cur.nodes()) {
+        double expected =
+            static_cast<double>(trials) * static_cast<double>(cur.degree(v) + 1) /
+            total_weight;
+        double diff = static_cast<double>(observed[v]) - expected;
+        chi2 += diff * diff / expected;
+        ++cells;
+    }
+    // 16 cells -> 15 degrees of freedom; the 0.999 quantile is 37.7. The
+    // seeded rng makes this deterministic — the margin guards the sampler,
+    // not the rng.
+    EXPECT_EQ(cells, 16u);
+    EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Adversary, PreferentialAttachPicksDistinctAliveWithoutReplacement) {
+    auto s = make_session(wl::make_star(9));
+    util::Rng rng(7);
+    PreferentialAttach attach(4);
+    for (int i = 0; i < 20; ++i) {
+        auto nbrs = attach.pick_neighbors(s, rng);
+        ASSERT_EQ(nbrs.size(), 4u);
+        EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+        EXPECT_EQ(std::adjacent_find(nbrs.begin(), nbrs.end()), nbrs.end());
+        for (NodeId v : nbrs) EXPECT_TRUE(s.current().has_node(v));
+    }
 }
 
 TEST(Adversary, ChurnDriverRespectsMinNodes) {

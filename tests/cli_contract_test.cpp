@@ -1,0 +1,149 @@
+// xheal_run CLI contract: scripting consumers (CI, shell pipelines) rely
+// on the documented exit codes — 0 success, 1 verdict failure (expectation
+// FAIL, replay mismatch, diff divergence, fuzz findings, shrink of a
+// non-failing trace), 2 usage/file/parse errors. This test drives the real
+// binary (XHEAL_RUN_BIN, injected by CMake) through every subcommand's
+// success, missing-file and mismatch paths.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "scenario/runner.hpp"
+#include "scenario/trace.hpp"
+
+using namespace xheal;
+
+namespace {
+
+/// Run the binary with `args`, discarding output; returns the exit code
+/// (or -1 when the process did not exit normally).
+int run_cli(const std::string& args) {
+    std::string command = std::string(XHEAL_RUN_BIN) + " " + args + " > /dev/null 2>&1";
+    int status = std::system(command.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string write_file(const std::string& name, const std::string& content) {
+    std::string path = testing::TempDir() + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+const char* kPassingSpec = R"(name cli-pass
+seed 5
+topology cycle n=16
+healer cycle
+phase churn steps=12 delete_fraction=0.5 deleter=random inserter=random-attach k=2 min_nodes=6
+expect connected
+)";
+
+const char* kFailingSpec = R"(name cli-fail
+seed 5
+topology cycle n=16
+healer no-heal
+phase drain steps=4 delete_fraction=1 deleter=random min_nodes=4
+expect nodes >= 100
+)";
+
+/// A spec whose run breaks connectivity (fault-injected healer), for the
+/// fuzz/shrink failure paths.
+const char* kFaultySpec = R"(name cli-faulty
+seed 11
+topology cycle n=24
+healer faulty inner=cycle drop_every=4
+phase churn steps=40 delete_fraction=0.7 deleter=random inserter=random-attach k=2 min_nodes=4
+)";
+
+class CliContract : public ::testing::Test {
+protected:
+    void SetUp() override {
+        pass_scn_ = write_file("cli_pass.scn", kPassingSpec);
+        fail_scn_ = write_file("cli_fail.scn", kFailingSpec);
+        faulty_scn_ = write_file("cli_faulty.scn", kFaultySpec);
+        trace_path_ = testing::TempDir() + "cli_trace.jsonl";
+        auto spec = scenario::ScenarioSpec::parse_file(pass_scn_);
+        auto result = scenario::ScenarioRunner(spec).run();
+        scenario::write_trace_file(trace_path_, result.to_trace(spec));
+    }
+
+    std::string pass_scn_, fail_scn_, faulty_scn_, trace_path_;
+};
+
+}  // namespace
+
+TEST_F(CliContract, NoCommandAndUnknownCommandAreUsageErrors) {
+    EXPECT_EQ(run_cli(""), 2);
+    EXPECT_EQ(run_cli("frobnicate"), 2);
+}
+
+TEST_F(CliContract, RunExitCodes) {
+    EXPECT_EQ(run_cli("run " + pass_scn_), 0);
+    EXPECT_EQ(run_cli("run " + fail_scn_), 1);          // expectation FAIL
+    EXPECT_EQ(run_cli("run /nonexistent.scn"), 2);      // missing file
+    EXPECT_EQ(run_cli("run " + pass_scn_ + " --max-steps nope"), 2);
+}
+
+TEST_F(CliContract, PrintAndListExitCodes) {
+    EXPECT_EQ(run_cli("print " + pass_scn_), 0);
+    EXPECT_EQ(run_cli("print /nonexistent.scn"), 2);
+    EXPECT_EQ(run_cli("list"), 0);
+}
+
+TEST_F(CliContract, ReplayExitCodes) {
+    EXPECT_EQ(run_cli("replay " + pass_scn_ + " " + trace_path_), 0);
+    EXPECT_EQ(run_cli("replay " + pass_scn_ + " /nonexistent.jsonl"), 2);
+
+    // Tamper with the recorded trace hash: parse still succeeds, replay
+    // must report the mismatch as a verdict failure.
+    auto trace = scenario::read_trace_file(trace_path_);
+    trace.trace_hash ^= 0x1;
+    std::string tampered = testing::TempDir() + "cli_tampered.jsonl";
+    scenario::write_trace_file(tampered, trace);
+    EXPECT_EQ(run_cli("replay " + pass_scn_ + " " + tampered), 1);
+}
+
+TEST_F(CliContract, DiffExitCodes) {
+    EXPECT_EQ(run_cli("diff " + trace_path_ + " " + trace_path_), 0);
+    EXPECT_EQ(run_cli("diff " + trace_path_ + " /nonexistent.jsonl"), 2);
+    EXPECT_EQ(run_cli("diff " + trace_path_), 2);  // usage
+
+    // A perturbed re-run: drop one event and diff against the recording.
+    auto trace = scenario::read_trace_file(trace_path_);
+    trace.events.pop_back();
+    std::string perturbed = testing::TempDir() + "cli_perturbed.jsonl";
+    scenario::write_trace_file(perturbed, trace);
+    EXPECT_EQ(run_cli("diff " + trace_path_ + " " + perturbed), 1);
+}
+
+TEST_F(CliContract, FuzzExitCodes) {
+    std::string out = testing::TempDir() + "cli_fuzz_repro";
+    EXPECT_EQ(run_cli("fuzz " + pass_scn_ + " --candidates 8 --seed 2"), 0);
+    EXPECT_EQ(run_cli("fuzz " + faulty_scn_ + " --candidates 8 --seed 2 --out " + out),
+              1);
+    // The failing fuzz wrote a shrunk reproducer pair that replays cleanly.
+    EXPECT_EQ(run_cli("replay " + out + "-cli-faulty.scn " + out +
+                      "-cli-faulty.jsonl"),
+              0);
+    EXPECT_EQ(run_cli("fuzz /nonexistent.scn"), 2);
+}
+
+TEST_F(CliContract, ShrinkExitCodes) {
+    // The passing trace breaks nothing: a verdict failure, not an error.
+    EXPECT_EQ(run_cli("shrink " + pass_scn_ + " " + trace_path_), 1);
+    EXPECT_EQ(run_cli("shrink " + pass_scn_ + " /nonexistent.jsonl"), 2);
+
+    // Record the faulty run and shrink it.
+    auto spec = scenario::ScenarioSpec::parse_file(faulty_scn_);
+    auto result = scenario::ScenarioRunner(spec).run();
+    std::string faulty_trace = testing::TempDir() + "cli_faulty.jsonl";
+    scenario::write_trace_file(faulty_trace, result.to_trace(spec));
+    std::string out = testing::TempDir() + "cli_shrink_repro";
+    EXPECT_EQ(run_cli("shrink " + faulty_scn_ + " " + faulty_trace + " --out " + out),
+              0);
+    EXPECT_EQ(run_cli("replay " + out + ".scn " + out + ".jsonl"), 0);
+}

@@ -84,6 +84,77 @@ TEST(ScenarioSpec, RejectsMalformedInput) {
                  std::runtime_error);  // bad integer
 }
 
+/// Assert parse() rejects `body` and that the error message carries a line
+/// number plus the offending fragment, so CLI users can find the typo.
+void expect_rejects(const std::string& body, const std::string& fragment) {
+    try {
+        ScenarioSpec::parse(body);
+        FAIL() << "accepted malformed spec:\n" << body;
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line"), std::string::npos) << e.what();
+        EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos) << e.what();
+    }
+}
+
+TEST(ScenarioSpec, RejectionMessagesNameLineAndFragment) {
+    const std::string prologue = "topology star\nhealer xheal\n";
+    // Malformed key=value tokens in every position that takes them.
+    expect_rejects(prologue + "phase p steps=1 keyonly\n", "keyonly");
+    expect_rejects(prologue + "phase p steps=1 =value\n", "=value");
+    expect_rejects("topology star leaves\nhealer xheal\nphase p steps=1\n", "leaves");
+    expect_rejects(prologue + "phase p\n", "steps");  // missing steps=N
+    // Out-of-range / unparsable phase parameters.
+    expect_rejects(prologue + "phase p steps=0\n", "steps");
+    expect_rejects(prologue + "phase p steps=1 burst=0\n", "burst");
+    expect_rejects(prologue + "phase p steps=many\n", "many");
+    expect_rejects(prologue + "phase p steps=1 delete_fraction=half\n", "half");
+    expect_rejects(prologue + "phase p steps=1 min_nodes=-3\n", "-3");
+    // Directive arity.
+    expect_rejects("name a b\n" + prologue + "phase p steps=1\n", "name");
+    expect_rejects(prologue + "sample_every\nphase p steps=1\n", "sample_every");
+    expect_rejects(prologue + "stretch_samples 3 4\nphase p steps=1\n",
+                   "stretch_samples");
+    // Expectation grammar.
+    expect_rejects(prologue + "phase p steps=1\nexpect\n", "expect");
+    expect_rejects(prologue + "phase p steps=1\nexpect connected 1\n", "connected");
+    expect_rejects(prologue + "phase p steps=1\nexpect lambda2 >= soon\n", "soon");
+    expect_rejects(prologue + "phase p steps=1\nexpect entropy >= 1\n", "entropy");
+}
+
+TEST(ScenarioRegistry, UnknownFactoryKindsAreRejectedByEveryFactory) {
+    util::Rng rng(4);
+    EXPECT_THROW(scenario::make_topology(ComponentSpec{"tesseract", {}}, rng),
+                 std::runtime_error);
+    EXPECT_THROW(scenario::make_healer(ComponentSpec{"bandaid", {}}, 1),
+                 std::runtime_error);
+    EXPECT_THROW(scenario::make_deleter(ComponentSpec{"chaos", {}}, nullptr),
+                 std::runtime_error);
+    EXPECT_THROW(scenario::make_inserter(ComponentSpec{"wormhole", {}}),
+                 std::runtime_error);
+    // The faulty wrapper refuses stateful inner healers and itself.
+    EXPECT_THROW(scenario::make_healer(ComponentSpec{"faulty", {{"inner", "xheal"}}}, 1),
+                 std::runtime_error);
+    EXPECT_THROW(
+        scenario::make_healer(ComponentSpec{"faulty", {{"inner", "faulty"}}}, 1),
+        std::runtime_error);
+}
+
+TEST(ScenarioSpec, EveryBundledScenarioParsesAndRoundTrips) {
+    const std::string dir = std::string(XHEAL_REPO_DIR) + "/scenarios/";
+    const char* bundled[] = {"bridge_hunter.scn", "dex_scale.scn", "hub_assault.scn",
+                             "p2p_churn.scn",     "phased_churn.scn",
+                             "star_collapse.scn"};
+    for (const char* name : bundled) {
+        SCOPED_TRACE(name);
+        auto spec = ScenarioSpec::parse_file(dir + name);
+        EXPECT_FALSE(spec.phases.empty());
+        std::string canonical = spec.to_text();
+        auto reparsed = ScenarioSpec::parse(canonical);
+        EXPECT_EQ(reparsed.to_text(), canonical);
+        EXPECT_EQ(reparsed.content_hash(), spec.content_hash());
+    }
+}
+
 TEST(ScenarioSpec, TypedParamAccessors) {
     ComponentSpec c{"x", {{"n", "7"}, {"p", "0.25"}, {"flag", "true"}}};
     EXPECT_EQ(c.get_u64("n", 0), 7u);

@@ -1,0 +1,129 @@
+// TraceDiff unit tests: structural equality, first-divergence localization
+// per field, prefix/length handling, header and end-record reporting, and
+// the human renderer's context window.
+#include <gtest/gtest.h>
+
+#include "trace_tools/diff.hpp"
+
+using namespace xheal;
+using scenario::Trace;
+using scenario::TraceEvent;
+using trace_tools::DiffResult;
+
+namespace {
+
+TraceEvent insert_event(std::uint64_t step, graph::NodeId node,
+                        std::vector<graph::NodeId> neighbors) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::insert;
+    e.step = step;
+    e.node = node;
+    e.neighbors = std::move(neighbors);
+    return e;
+}
+
+TraceEvent delete_event(std::uint64_t step, graph::NodeId node) {
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::remove;
+    e.step = step;
+    e.node = node;
+    return e;
+}
+
+Trace sample_trace() {
+    Trace t;
+    t.scenario = "sample";
+    t.seed = 9;
+    t.spec_hash = 0xabc;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        if (i % 2 == 0)
+            t.events.push_back(insert_event(i, 100 + i, {1, 2}));
+        else
+            t.events.push_back(delete_event(i, i));
+    }
+    t.trace_hash = 0x111;
+    t.fingerprint = 0x222;
+    return t;
+}
+
+}  // namespace
+
+TEST(TraceDiff, IdenticalTracesCompareEqual) {
+    auto a = sample_trace();
+    auto diff = trace_tools::diff_traces(a, a);
+    EXPECT_TRUE(diff.identical());
+    EXPECT_TRUE(diff.events_equal());
+    EXPECT_EQ(diff.divergence_index, DiffResult::npos);
+    EXPECT_NE(trace_tools::format_diff(diff, a, a).find("identical"),
+              std::string::npos);
+}
+
+TEST(TraceDiff, ReportsFirstDivergentEventAndField) {
+    auto a = sample_trace();
+    auto b = sample_trace();
+    b.events[7].node = 99;          // first divergence
+    b.events[9].neighbors = {3};    // later divergence must not mask it
+    auto diff = trace_tools::diff_traces(a, b);
+    EXPECT_FALSE(diff.identical());
+    EXPECT_EQ(diff.divergence_index, 7u);
+    EXPECT_EQ(diff.divergence_field, "node");
+}
+
+TEST(TraceDiff, DistinguishesKindNeighborsAndStepFields) {
+    auto a = sample_trace();
+    auto b = sample_trace();
+    b.events[3] = insert_event(3, 3, {1});
+    EXPECT_EQ(trace_tools::diff_traces(a, b).divergence_field, "kind");
+
+    b = sample_trace();
+    b.events[4].neighbors = {1, 2, 5};
+    EXPECT_EQ(trace_tools::diff_traces(a, b).divergence_field, "neighbors");
+
+    b = sample_trace();
+    b.events[5].step = 50;
+    EXPECT_EQ(trace_tools::diff_traces(a, b).divergence_field, "step");
+}
+
+TEST(TraceDiff, PrefixTraceDivergesAtItsEnd) {
+    auto a = sample_trace();
+    auto b = sample_trace();
+    b.events.resize(6);
+    auto diff = trace_tools::diff_traces(a, b);
+    EXPECT_EQ(diff.divergence_index, 6u);
+    EXPECT_EQ(diff.divergence_field, "length");
+    // The renderer must mark the end of the shorter side.
+    auto text = trace_tools::format_diff(diff, a, b);
+    EXPECT_NE(text.find("<end of trace>"), std::string::npos);
+}
+
+TEST(TraceDiff, HeaderAndEndRecordDifferencesAreReported) {
+    auto a = sample_trace();
+    auto b = sample_trace();
+    b.seed = 10;
+    b.fingerprint = 0x333;
+    auto diff = trace_tools::diff_traces(a, b);
+    EXPECT_FALSE(diff.identical());
+    EXPECT_TRUE(diff.events_equal());
+    EXPECT_FALSE(diff.header_equal);
+    EXPECT_NE(diff.header_note.find("seed"), std::string::npos);
+    EXPECT_TRUE(diff.trace_hash_equal);
+    EXPECT_FALSE(diff.fingerprint_equal);
+    // Same events + different fingerprint is the healer-divergence shape.
+    auto text = trace_tools::format_diff(diff, a, b);
+    EXPECT_NE(text.find("healer-side divergence"), std::string::npos);
+}
+
+TEST(TraceDiff, FormatShowsContextWindowAroundTheDivergence) {
+    auto a = sample_trace();
+    auto b = sample_trace();
+    b.events[5].node = 77;
+    auto diff = trace_tools::diff_traces(a, b);
+    auto text = trace_tools::format_diff(diff, a, b, 2);
+    // The divergent pair is marked; the window spans [3, 7].
+    EXPECT_NE(text.find("> a[5]"), std::string::npos);
+    EXPECT_NE(text.find("> b[5]"), std::string::npos);
+    EXPECT_NE(text.find("  a[3]"), std::string::npos);
+    EXPECT_NE(text.find("  b[7]"), std::string::npos);
+    EXPECT_EQ(text.find("a[2]"), std::string::npos);
+    EXPECT_EQ(text.find("a[8]"), std::string::npos);
+}

@@ -16,6 +16,29 @@
 //       Parse and echo the canonical spec text (round-trip check).
 //   xheal_run list
 //       Show every registry key the spec grammar can name.
+//   xheal_run diff <a.jsonl> <b.jsonl> [--context N]
+//       Structurally compare two traces and report the first divergent
+//       event with surrounding context (trace_tools/diff.hpp).
+//   xheal_run fuzz <spec.scn>... [--candidates N] [--seed S] [--out BASE]
+//             [--max-findings M] [--lambda2-floor X] [--check-every N]
+//       Mutate each spec's schedule and recorded event stream N times,
+//       executing every candidate under the invariant oracle suite; the
+//       first finding per spec is ddmin-shrunk and written as a
+//       BASE-<name>.scn / BASE-<name>.jsonl reproducer pair.
+//   xheal_run shrink <spec.scn> <trace.jsonl> [--out BASE]
+//             [--lambda2-floor X] [--check-every N]
+//       Reduce an invariant-breaking event stream to a minimal reproducer
+//       and write the standalone BASE.scn / BASE.jsonl pair. On huge
+//       streams (dex_scale-sized), coarsen the oracle cadence with
+//       --check-every (0 = final-only) — the per-event structural suite is
+//       O(n+m) per event.
+//
+// Exit-code contract (scripting consumers, incl. CI, rely on this):
+//   0 — success: run PASS, replay match, diff identical, fuzz clean,
+//       shrink produced a reproducer
+//   1 — verdict failure: expectation FAIL, replay mismatch, diff
+//       divergence, fuzz findings, shrink input that breaks no invariant
+//   2 — usage, missing/unreadable file, or malformed spec/trace
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -23,6 +46,9 @@
 #include <vector>
 
 #include "scenario/runner.hpp"
+#include "trace_tools/diff.hpp"
+#include "trace_tools/fuzz.hpp"
+#include "trace_tools/shrink.hpp"
 #include "util/table.hpp"
 
 using namespace xheal;
@@ -35,12 +61,47 @@ int usage() {
                  "[--max-steps N]\n"
               << "  xheal_run replay <spec.scn> <trace.jsonl>\n"
               << "  xheal_run print <spec.scn>\n"
-              << "  xheal_run list\n";
+              << "  xheal_run list\n"
+              << "  xheal_run diff <a.jsonl> <b.jsonl> [--context N]\n"
+              << "  xheal_run fuzz <spec.scn>... [--candidates N] [--seed S] "
+                 "[--out BASE] [--max-findings M] [--lambda2-floor X] "
+                 "[--check-every N]\n"
+              << "  xheal_run shrink <spec.scn> <trace.jsonl> [--out BASE] "
+                 "[--lambda2-floor X] [--check-every N]\n"
+              << "  (--check-every N runs the structural oracles every Nth "
+                 "event, 0 = final only — use a coarse cadence on huge "
+                 "streams like dex_scale)\n"
+              << "exit codes: 0 success, 1 verdict failure (FAIL/mismatch/"
+                 "divergence/findings), 2 usage or file errors\n";
     return 2;
 }
 
 std::string fmt_or_dash(double v, int precision) {
     return std::isnan(v) ? std::string("-") : util::format_double(v, precision);
+}
+
+/// Strict whole-string unsigned parse for flag values; returns false on
+/// "abc", "200x", "-1", "".
+bool parse_count(const std::string& text, std::size_t& out) {
+    std::size_t consumed = 0;
+    try {
+        out = static_cast<std::size_t>(std::stoull(text, &consumed));
+    } catch (const std::exception&) {
+        return false;
+    }
+    return consumed == text.size() && !text.empty() && text[0] != '-';
+}
+
+/// Strict whole-string finite-double parse ("0.5x" and "nan" are rejected,
+/// matching parse_count's strictness for the integer flags).
+bool parse_finite(const std::string& text, double& out) {
+    std::size_t consumed = 0;
+    try {
+        out = std::stod(text, &consumed);
+    } catch (const std::exception&) {
+        return false;
+    }
+    return consumed == text.size() && std::isfinite(out);
 }
 
 void print_samples(const scenario::RunResult& result) {
@@ -137,15 +198,7 @@ int cmd_run(const std::vector<std::string>& args) {
             json_path = args[i];
         } else if (args[i] == "--max-steps") {
             if (++i >= args.size()) return usage();
-            // Strict whole-string parse: reject "abc", "200x", "-1".
-            std::size_t consumed = 0;
-            try {
-                max_steps = static_cast<std::size_t>(std::stoull(args[i], &consumed));
-            } catch (const std::exception&) {
-                consumed = 0;
-            }
-            if (consumed != args[i].size() || args[i].empty() || args[i][0] == '-' ||
-                max_steps == 0) {
+            if (!parse_count(args[i], max_steps) || max_steps == 0) {
                 std::cerr << "--max-steps needs a positive integer, got '" << args[i]
                           << "'\n";
                 return 2;
@@ -231,6 +284,205 @@ int cmd_replay(const std::vector<std::string>& args) {
     return hash_ok && fp_ok ? 0 : 1;
 }
 
+int cmd_diff(const std::vector<std::string>& args) {
+    std::vector<std::string> paths;
+    std::size_t context = 3;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--context") {
+            if (++i >= args.size() || !parse_count(args[i], context)) return usage();
+        } else {
+            paths.push_back(args[i]);
+        }
+    }
+    if (paths.size() != 2) return usage();
+    auto a = scenario::read_trace_file(paths[0]);
+    auto b = scenario::read_trace_file(paths[1]);
+    auto diff = trace_tools::diff_traces(a, b);
+    std::cout << trace_tools::format_diff(diff, a, b, context);
+    std::cout << "VERDICT diff " << (diff.identical() ? "PASS" : "FAIL") << " — "
+              << paths[0] << " vs " << paths[1] << "\n";
+    return diff.identical() ? 0 : 1;
+}
+
+void print_violations(const std::vector<trace_tools::ExecViolation>& violations) {
+    for (const auto& v : violations)
+        std::cout << "  violation after event " << v.event_index << " [" << v.oracle
+                  << "]: " << v.message << "\n";
+}
+
+/// Reproducer specs must carry the oracle context that produced the
+/// finding: re-emit the *effective* lambda2 floor as an `expect lambda2 >=`
+/// clause — replacing any clause the spec already had, which an explicit
+/// --lambda2-floor may have overridden — so a parameterless
+/// `xheal_run shrink repro.scn repro.jsonl` re-derives it and
+/// re-demonstrates the violation.
+scenario::ScenarioSpec reproducer_spec(scenario::ScenarioSpec spec,
+                                       const trace_tools::ExecOptions& exec) {
+    if (std::isnan(exec.lambda2_floor)) return spec;
+    std::erase_if(spec.expectations, [](const scenario::Expectation& e) {
+        return e.kind == scenario::Expectation::Kind::lambda2_ge;
+    });
+    scenario::Expectation floor;
+    floor.kind = scenario::Expectation::Kind::lambda2_ge;
+    floor.value = exec.lambda2_floor;
+    spec.expectations.push_back(floor);
+    return spec;
+}
+
+/// The spec's own `expect lambda2 >=` clause doubles as the fuzz/shrink
+/// oracle floor unless one was given explicitly on the command line.
+void derive_lambda2_floor(const scenario::ScenarioSpec& spec,
+                          trace_tools::ExecOptions& exec) {
+    if (!std::isnan(exec.lambda2_floor)) return;
+    for (const auto& e : spec.expectations)
+        if (e.kind == scenario::Expectation::Kind::lambda2_ge)
+            exec.lambda2_floor = e.value;
+}
+
+/// Shrink a failing finding and write the reproducer pair; prints the
+/// summary lines shared by fuzz and shrink.
+void shrink_and_write(const scenario::ScenarioSpec& spec,
+                      const std::vector<scenario::TraceEvent>& events,
+                      const trace_tools::ShrinkOptions& options,
+                      const std::string& out_base) {
+    auto shrunk = trace_tools::shrink(spec, events, options);
+    if (!shrunk.input_failed) {
+        std::cout << "shrink: input no longer fails (flaky oracle?); skipping\n";
+        return;
+    }
+    std::cout << "shrunk " << shrunk.input_events << " -> " << shrunk.final_events()
+              << " events in " << shrunk.tests_run << " executor runs\n";
+    print_violations(shrunk.exec.violations);
+    auto [scn, trace] = trace_tools::write_reproducer(
+        out_base, reproducer_spec(spec, options.exec), shrunk);
+    // Exception reproducers end on the throwing event by design — strict
+    // replay surfaces the exception instead of matching hashes.
+    bool exception_repro = shrunk.exec.violations[0].oracle == "healer-exception";
+    std::cout << "wrote reproducer " << scn << " + " << trace
+              << (exception_repro
+                      ? " (replay re-raises the healer exception at the final event)"
+                      : " (verify: xheal_run replay " + scn + " " + trace + ")")
+              << "\n";
+}
+
+int cmd_fuzz(const std::vector<std::string>& args) {
+    std::vector<std::string> spec_paths;
+    trace_tools::FuzzOptions options;
+    std::string out_base = "fuzz-repro";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--candidates") {
+            if (++i >= args.size() || !parse_count(args[i], options.candidates))
+                return usage();
+        } else if (args[i] == "--seed") {
+            std::size_t seed = 0;
+            if (++i >= args.size() || !parse_count(args[i], seed)) return usage();
+            options.seed = seed;
+        } else if (args[i] == "--max-findings") {
+            if (++i >= args.size() || !parse_count(args[i], options.max_findings))
+                return usage();
+        } else if (args[i] == "--lambda2-floor") {
+            if (++i >= args.size() || !parse_finite(args[i], options.exec.lambda2_floor))
+                return usage();
+        } else if (args[i] == "--check-every") {
+            if (++i >= args.size() || !parse_count(args[i], options.exec.check_every))
+                return usage();
+        } else if (args[i] == "--out") {
+            if (++i >= args.size()) return usage();
+            out_base = args[i];
+        } else {
+            spec_paths.push_back(args[i]);
+        }
+    }
+    if (spec_paths.empty()) return usage();
+
+    bool all_clean = true;
+    for (const std::string& path : spec_paths) {
+        auto spec = scenario::ScenarioSpec::parse_file(path);
+        // Per-spec copy: a floor derived from one spec must not leak into
+        // the next one of the same invocation.
+        trace_tools::FuzzOptions spec_options = options;
+        derive_lambda2_floor(spec, spec_options.exec);
+
+        trace_tools::TraceFuzzer fuzzer(spec, spec_options);
+        auto report = fuzzer.run();
+        std::cout << "fuzz " << spec.name << ": " << report.candidates_run
+                  << " candidates over " << report.base_events << " base events, "
+                  << report.findings.size() << " finding(s)\n";
+        for (const auto& finding : report.findings) {
+            std::cout << "finding: candidate " << finding.candidate << " ["
+                      << finding.mutator << "], " << finding.events.size()
+                      << " events\n";
+            print_violations(finding.exec.violations);
+        }
+        if (!report.clean()) {
+            // Shrink the first finding that carries an event stream; a
+            // runner-exception finding (the engine itself threw) has none.
+            const trace_tools::FuzzFinding* target = nullptr;
+            for (const auto& f : report.findings)
+                if (!f.events.empty()) {
+                    target = &f;
+                    break;
+                }
+            if (target != nullptr) {
+                trace_tools::ShrinkOptions shrink_options;
+                shrink_options.exec = spec_options.exec;
+                shrink_and_write(target->spec, target->events, shrink_options,
+                                 out_base + "-" + spec.name);
+            } else {
+                std::cout << "no event stream to shrink (engine exception); "
+                             "offending spec:\n"
+                          << report.findings.front().spec.to_text();
+            }
+        }
+        std::cout << "VERDICT fuzz-" << spec.name << " "
+                  << (report.clean() ? "PASS" : "FAIL") << " — "
+                  << report.candidates_run << " candidates\n";
+        all_clean = all_clean && report.clean();
+    }
+    return all_clean ? 0 : 1;
+}
+
+int cmd_shrink(const std::vector<std::string>& args) {
+    std::vector<std::string> paths;
+    trace_tools::ShrinkOptions options;
+    std::string out_base = "repro";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--out") {
+            if (++i >= args.size()) return usage();
+            out_base = args[i];
+        } else if (args[i] == "--lambda2-floor") {
+            if (++i >= args.size() || !parse_finite(args[i], options.exec.lambda2_floor))
+                return usage();
+        } else if (args[i] == "--check-every") {
+            if (++i >= args.size() || !parse_count(args[i], options.exec.check_every))
+                return usage();
+        } else {
+            paths.push_back(args[i]);
+        }
+    }
+    if (paths.size() != 2) return usage();
+    auto spec = scenario::ScenarioSpec::parse_file(paths[0]);
+    auto trace = scenario::read_trace_file(paths[1]);
+    derive_lambda2_floor(spec, options.exec);
+
+    auto shrunk = trace_tools::shrink(spec, trace.events, options);
+    if (!shrunk.input_failed) {
+        std::cout << "shrink: the " << trace.events.size()
+                  << "-event stream breaks no enabled invariant — nothing to shrink\n"
+                  << "VERDICT shrink-" << spec.name << " FAIL — input does not fail\n";
+        return 1;
+    }
+    std::cout << "shrunk " << shrunk.input_events << " -> " << shrunk.final_events()
+              << " events in " << shrunk.tests_run << " executor runs\n";
+    print_violations(shrunk.exec.violations);
+    auto [scn, trace_path] = trace_tools::write_reproducer(
+        out_base, reproducer_spec(spec, options.exec), shrunk);
+    std::cout << "wrote reproducer " << scn << " + " << trace_path << "\n"
+              << "VERDICT shrink-" << spec.name << " PASS — " << shrunk.final_events()
+              << "-event reproducer\n";
+    return 0;
+}
+
 int cmd_print(const std::vector<std::string>& args) {
     if (args.size() != 1) return usage();
     std::cout << scenario::ScenarioSpec::parse_file(args[0]).to_text();
@@ -269,9 +521,14 @@ int main(int argc, char** argv) {
         if (command == "replay") return cmd_replay(args);
         if (command == "print") return cmd_print(args);
         if (command == "list") return cmd_list();
+        if (command == "diff") return cmd_diff(args);
+        if (command == "fuzz") return cmd_fuzz(args);
+        if (command == "shrink") return cmd_shrink(args);
     } catch (const std::exception& e) {
+        // Unreadable files, malformed specs/traces: environment errors, not
+        // verdicts — distinct exit code for scripting consumers.
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return 2;
     }
     return usage();
 }
