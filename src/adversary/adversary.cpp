@@ -92,6 +92,32 @@ NodeId BridgeHunterDeletion::pick(const HealingSession& session, util::Rng& rng)
     return ColoredDegreeDeletion{}.pick(session, rng);
 }
 
+CompositeDeletion::CompositeDeletion(std::vector<Member> members)
+    : members_(std::move(members)), counts_(members_.size(), 0) {
+    XHEAL_EXPECTS(!members_.empty());
+    double total = 0.0;
+    for (const Member& m : members_) {
+        XHEAL_EXPECTS(m.weight >= 0.0);
+        total += m.weight;
+    }
+    XHEAL_EXPECTS(total > 0.0);
+    double running = 0.0;
+    for (const Member& m : members_) {
+        running += m.weight / total;
+        cumulative_.push_back(running);
+    }
+    // Float-sum slack must never make the last member unreachable.
+    cumulative_.back() = 1.0;
+}
+
+NodeId CompositeDeletion::pick(const HealingSession& session, util::Rng& rng) {
+    double u = rng.uniform01();
+    std::size_t which = 0;
+    while (which + 1 < members_.size() && u >= cumulative_[which]) ++which;
+    ++counts_[which];
+    return members_[which].strategy->pick(session, rng);
+}
+
 std::vector<NodeId> RandomAttach::pick_neighbors(const HealingSession& session,
                                                  util::Rng& rng) {
     const auto& alive = session.alive_pool();

@@ -73,6 +73,34 @@ private:
     const core::CloudRegistry* registry_;
 };
 
+/// Weighted mixture of deletion strategies (scenario grammar v2
+/// `deleter=k1:w1,k2:w2`): each pick first draws which member acts,
+/// proportionally to the weights, then delegates. One uniform01 draw per
+/// pick regardless of member count, so traces stay stable when weights
+/// move. Per-member pick counts are exposed for the statistical tests
+/// (chi-square of realized vs configured mixture).
+class CompositeDeletion : public DeletionStrategy {
+public:
+    struct Member {
+        std::unique_ptr<DeletionStrategy> strategy;
+        double weight = 1.0;  ///< positive; normalized internally
+    };
+
+    /// Requires at least one member and a positive weight total.
+    explicit CompositeDeletion(std::vector<Member> members);
+
+    std::string_view name() const override { return "composite"; }
+    graph::NodeId pick(const core::HealingSession& session, util::Rng& rng) override;
+
+    /// How many picks each member has served, in construction order.
+    const std::vector<std::size_t>& pick_counts() const { return counts_; }
+
+private:
+    std::vector<Member> members_;
+    std::vector<double> cumulative_;  ///< normalized inclusive prefix sums
+    std::vector<std::size_t> counts_;
+};
+
 class InsertionStrategy {
 public:
     virtual ~InsertionStrategy() = default;

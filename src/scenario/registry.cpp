@@ -149,6 +149,15 @@ std::vector<std::string> deleter_names() {
             "cut-point",     "colored-degree", "bridge-hunter"};
 }
 
+std::unique_ptr<adversary::DeletionStrategy> make_phase_deleter(
+    const PhaseSpec& phase, const core::CloudRegistry* registry) {
+    if (phase.deleter_mix.empty()) return make_deleter(phase.deleter, registry);
+    std::vector<adversary::CompositeDeletion::Member> members;
+    for (const WeightedDeleter& w : phase.deleter_mix)
+        members.push_back({make_deleter(w.component, registry), w.weight});
+    return std::make_unique<adversary::CompositeDeletion>(std::move(members));
+}
+
 std::unique_ptr<adversary::InsertionStrategy> make_inserter(const ComponentSpec& spec) {
     const std::string& kind = spec.kind;
     std::size_t k = spec.get_u64("k", 3);

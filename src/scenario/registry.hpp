@@ -55,6 +55,13 @@ std::unique_ptr<adversary::DeletionStrategy> make_deleter(
     const ComponentSpec& spec, const core::CloudRegistry* registry);
 std::vector<std::string> deleter_names();
 
+/// The deleter a phase names: the single `deleter` component, or an
+/// adversary::CompositeDeletion over `deleter_mix` when the phase carries a
+/// mixture (grammar v2). Member kinds go through make_deleter, so unknown
+/// kinds and capability requirements throw identically in both forms.
+std::unique_ptr<adversary::DeletionStrategy> make_phase_deleter(
+    const PhaseSpec& phase, const core::CloudRegistry* registry);
+
 /// Kinds: random-attach | preferential-attach (param k=3).
 std::unique_ptr<adversary::InsertionStrategy> make_inserter(const ComponentSpec& spec);
 std::vector<std::string> inserter_names();

@@ -186,15 +186,40 @@ RunResult ScenarioRunner::run() {
         PhaseResult stats;
         stats.name = phase.name;
         stats.steps = phase.steps;
-        auto deleter = make_deleter(phase.deleter, registry_);
+        // Per-phase seed (grammar v2): reseed the master stream at phase
+        // entry, making the phase's adversary decisions independent of the
+        // schedule prefix (sweeps may reorder phases without perturbation).
+        if (phase.seed.has_value()) rng_ = util::Rng(*phase.seed);
+        auto deleter = make_phase_deleter(phase, registry_);
         auto inserter = make_inserter(phase.inserter);
 
+        auto try_insert = [&](std::size_t step) {
+            auto neighbors = inserter->pick_neighbors(session_, rng_);
+            if (neighbors.empty()) return false;
+            TraceEvent event;
+            event.kind = TraceEvent::Kind::insert;
+            event.step = step;
+            event.phase = static_cast<std::uint32_t>(phase_index);
+            event.node = session_.insert_node(neighbors);
+            event.neighbors = std::move(neighbors);
+            ++stats.insertions;
+            hasher.add(event);
+            result.events.push_back(std::move(event));
+            return true;
+        };
+
         for (std::size_t step = 0; step < phase.steps; ++step) {
+            // Flash-crowd modeling (grammar v2): insert_burst forced
+            // arrivals lead every step, before the regular event budget.
+            for (std::size_t i = 0; i < phase.insert_burst; ++i)
+                if (!try_insert(global_step)) ++stats.skipped;
+
+            double fraction = phase.delete_fraction_at(step);
             for (std::size_t b = 0; b < phase.burst; ++b) {
                 bool want_delete;
-                if (phase.delete_fraction >= 1.0) want_delete = true;
-                else if (phase.delete_fraction <= 0.0) want_delete = false;
-                else want_delete = rng_.chance(phase.delete_fraction);
+                if (fraction >= 1.0) want_delete = true;
+                else if (fraction <= 0.0) want_delete = false;
+                else want_delete = rng_.chance(fraction);
 
                 bool did_event = false;
                 if (want_delete && session_.current().node_count() > phase.min_nodes) {
@@ -218,21 +243,7 @@ RunResult ScenarioRunner::run() {
                 }
                 // Blocked or victimless deletes in a mixed phase fall
                 // through to an insert; deletion-only phases just skip.
-                if (!did_event && phase.delete_fraction < 1.0) {
-                    auto neighbors = inserter->pick_neighbors(session_, rng_);
-                    if (!neighbors.empty()) {
-                        TraceEvent event;
-                        event.kind = TraceEvent::Kind::insert;
-                        event.step = global_step;
-                        event.phase = static_cast<std::uint32_t>(phase_index);
-                        event.node = session_.insert_node(neighbors);
-                        event.neighbors = std::move(neighbors);
-                        ++stats.insertions;
-                        hasher.add(event);
-                        result.events.push_back(std::move(event));
-                        did_event = true;
-                    }
-                }
+                if (!did_event && fraction < 1.0) did_event = try_insert(global_step);
                 if (!did_event) ++stats.skipped;
             }
             ++global_step;

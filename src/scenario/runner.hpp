@@ -5,9 +5,11 @@
 //
 // Randomness contract: one master Rng seeded with spec.seed drives topology
 // construction (spec-built constructor) and every adversary decision, in
-// schedule order; the healer's private randomness comes from its own seed
-// (defaulting to spec.seed); metric probes draw from an independent stream
-// so changing the sampling cadence never perturbs the event trace.
+// schedule order; a phase carrying its own `seed=` reseeds the master
+// stream at phase entry (grammar v2 — its decisions become independent of
+// the schedule prefix); the healer's private randomness comes from its own
+// seed (defaulting to spec.seed); metric probes draw from an independent
+// stream so changing the sampling cadence never perturbs the event trace.
 #pragma once
 
 #include <cmath>

@@ -80,6 +80,61 @@ std::uint64_t parse_u64_or_fail(const std::string& text, const std::string& what
     }
 }
 
+/// `delete_fraction=a..b` ramp bounds. Ramps are validated eagerly (unlike
+/// the constant form, whose out-of-range values carry schedule meaning):
+/// both ends must be in [0, 1] and ascending — a reversed ramp is almost
+/// always a typo, and a decay regime reads better as two phases.
+void parse_ramp(const std::string& value, PhaseSpec& phase, std::size_t line_no) {
+    auto dots = value.find("..");
+    std::string a_text = value.substr(0, dots);
+    std::string b_text = value.substr(dots + 2);
+    if (a_text.empty() || b_text.empty())
+        fail(line_no, "delete_fraction ramp needs both bounds, got '" + value + "'");
+    double a = parse_double_or_fail(a_text, "delete_fraction ramp start", line_no);
+    double b = parse_double_or_fail(b_text, "delete_fraction ramp end", line_no);
+    if (a < 0.0 || b < 0.0)
+        fail(line_no, "delete_fraction ramp bounds must be >= 0, got '" + value + "'");
+    if (a > 1.0 || b > 1.0)
+        fail(line_no, "delete_fraction ramp bounds must be <= 1, got '" + value + "'");
+    if (a > b)
+        fail(line_no, "delete_fraction ramp bounds reversed ('" + value +
+                          "'); split a decay into phases instead");
+    phase.delete_fraction = a;
+    phase.delete_fraction_end = b;
+}
+
+/// `deleter=k1:w1,k2:w2` composite mixture. Every member needs an explicit
+/// positive weight; a zero total cannot be normalized into a distribution.
+void parse_deleter_mix(const std::string& value, PhaseSpec& phase,
+                       std::size_t line_no) {
+    phase.deleter_mix.clear();
+    double total = 0.0;
+    std::size_t begin = 0;
+    while (begin <= value.size()) {
+        auto comma = value.find(',', begin);
+        std::string part = value.substr(
+            begin, comma == std::string::npos ? std::string::npos : comma - begin);
+        auto colon = part.find(':');
+        if (colon == std::string::npos || colon == 0 || colon + 1 == part.size())
+            fail(line_no, "composite deleter member needs kind:weight, got '" + part + "'");
+        WeightedDeleter member;
+        member.component.kind = part.substr(0, colon);
+        member.weight = parse_double_or_fail(part.substr(colon + 1),
+                                             "deleter weight for '" +
+                                                 member.component.kind + "'",
+                                             line_no);
+        if (member.weight < 0.0)
+            fail(line_no, "negative deleter weight for '" + member.component.kind + "'");
+        total += member.weight;
+        phase.deleter_mix.push_back(std::move(member));
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+    }
+    if (!(total > 0.0))
+        fail(line_no, "composite deleter weights sum to zero (not normalizable): '" +
+                          value + "'");
+}
+
 }  // namespace
 
 std::uint64_t fnv1a64(const std::string& bytes) {
@@ -129,6 +184,12 @@ std::string Expectation::to_text() const {
     return "expect ?";
 }
 
+double PhaseSpec::delete_fraction_at(std::size_t step) const {
+    if (!delete_fraction_end.has_value() || steps <= 1) return delete_fraction;
+    double t = static_cast<double>(step) / static_cast<double>(steps - 1);
+    return delete_fraction + (*delete_fraction_end - delete_fraction) * t;
+}
+
 std::size_t ScenarioSpec::total_steps() const {
     std::size_t total = 0;
     for (const auto& p : phases) total += p.steps;
@@ -150,10 +211,22 @@ std::string ScenarioSpec::to_text() const {
     if (stretch_samples != 8) out << "stretch_samples " << stretch_samples << "\n";
     for (const auto& p : phases) {
         out << "phase " << p.name << " steps=" << p.steps;
+        if (p.seed.has_value()) out << " seed=" << *p.seed;
         if (p.burst != 1) out << " burst=" << p.burst;
-        out << " delete_fraction=" << p.delete_fraction << " min_nodes=" << p.min_nodes;
-        out << " deleter=" << p.deleter.kind;
-        for (const auto& [k, v] : p.deleter.params) out << " deleter." << k << "=" << v;
+        if (p.insert_burst != 0) out << " insert_burst=" << p.insert_burst;
+        out << " delete_fraction=" << p.delete_fraction;
+        if (p.delete_fraction_end.has_value()) out << ".." << *p.delete_fraction_end;
+        out << " min_nodes=" << p.min_nodes;
+        if (p.deleter_mix.empty()) {
+            out << " deleter=" << p.deleter.kind;
+            for (const auto& [k, v] : p.deleter.params)
+                out << " deleter." << k << "=" << v;
+        } else {
+            out << " deleter=";
+            for (std::size_t i = 0; i < p.deleter_mix.size(); ++i)
+                out << (i == 0 ? "" : ",") << p.deleter_mix[i].component.kind << ":"
+                    << p.deleter_mix[i].weight;
+        }
         out << " inserter=" << p.inserter.kind;
         for (const auto& [k, v] : p.inserter.params) out << " inserter." << k << "=" << v;
         out << "\n";
@@ -213,15 +286,31 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
                     fail(line_no, "expected key=value, got '" + tokens[i] + "'");
                 if (key == "steps") {
                     phase.steps = parse_u64_or_fail(value, "steps", line_no);
+                } else if (key == "seed") {
+                    phase.seed = parse_u64_or_fail(value, "phase seed", line_no);
                 } else if (key == "burst") {
                     phase.burst = parse_u64_or_fail(value, "burst", line_no);
                     if (phase.burst == 0) fail(line_no, "burst must be >= 1");
+                } else if (key == "insert_burst") {
+                    phase.insert_burst =
+                        parse_u64_or_fail(value, "insert_burst", line_no);
                 } else if (key == "delete_fraction") {
-                    phase.delete_fraction = parse_double_or_fail(value, "delete_fraction", line_no);
+                    if (value.find("..") != std::string::npos)
+                        parse_ramp(value, phase, line_no);
+                    else
+                        phase.delete_fraction = parse_double_or_fail(value, "delete_fraction", line_no);
                 } else if (key == "min_nodes") {
                     phase.min_nodes = parse_u64_or_fail(value, "min_nodes", line_no);
                 } else if (key == "deleter") {
-                    phase.deleter.kind = value;
+                    if (value.find(':') != std::string::npos ||
+                        value.find(',') != std::string::npos) {
+                        parse_deleter_mix(value, phase, line_no);
+                    } else {
+                        // Last deleter= wins in either direction: a plain
+                        // kind replaces an earlier mixture too.
+                        phase.deleter_mix.clear();
+                        phase.deleter.kind = value;
+                    }
                 } else if (key == "inserter") {
                     phase.inserter.kind = value;
                 } else if (key.rfind("deleter.", 0) == 0) {
@@ -236,6 +325,10 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
                 }
             }
             if (phase.steps == 0) fail(line_no, "phase needs steps=N (N >= 1)");
+            // Mixture members are kind-only; dotted params have no way to
+            // name which member they configure.
+            if (!phase.deleter_mix.empty() && !phase.deleter.params.empty())
+                fail(line_no, "composite deleter takes no deleter.* params");
             spec.phases.push_back(std::move(phase));
         } else if (directive == "expect") {
             if (tokens.size() < 2) fail(line_no, "expect needs a metric");

@@ -21,11 +21,29 @@
 //   expect connected
 //   expect max_degree_ratio <= 12
 //
+// Grammar v2 (DESIGN.md decision 8) adds four phase keys:
+//
+//   phase ramp  steps=100 seed=9 delete_fraction=0.1..0.9
+//   phase mixed steps=50  deleter=random:0.7,max-degree:0.3
+//   phase flash steps=20  insert_burst=4 delete_fraction=0
+//
+//   seed=S            — reseed the master rng at phase entry, making the
+//                       phase's adversary stream independent of everything
+//                       before it (sweeps can permute phases freely).
+//   delete_fraction=a..b — linear ramp from a to b across the phase's
+//                       steps (a <= b; both ends evaluated).
+//   deleter=k1:w1,k2:w2 — composite deleter: each delete event first draws
+//                       which member strategy acts, proportionally to the
+//                       (positive, non-normalized) weights.
+//   insert_burst=I    — I forced insert events at the start of every step,
+//                       before the regular burst (flash-crowd modeling).
+//
 // `to_text()` emits the same grammar, and parse(to_text()) round-trips.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,20 +65,43 @@ struct ComponentSpec {
     std::string to_text() const;
 };
 
-/// One phase of the adversary schedule. delete_fraction semantics:
+/// One weighted member of a composite deleter mixture. Weights are kept
+/// as parsed (positive, not normalized) so the canonical printer
+/// round-trips them; consumers normalize at build time.
+struct WeightedDeleter {
+    ComponentSpec component{"random", {}};
+    double weight = 1.0;
+};
+
+/// One phase of the adversary schedule. delete_fraction semantics (applied
+/// to the *effective* fraction of the step — see delete_fraction_at):
 ///   >= 1  — deletion-only (no coin flipped, matching the classic
 ///           "p deletions" benches);
 ///   <= 0  — insertion-only (no coin flipped);
-///   else  — per event, flip chance(delete_fraction); a delete that is
+///   else  — per event, flip chance(fraction); a delete that is
 ///           blocked by min_nodes (or yields no victim) becomes an insert.
 struct PhaseSpec {
     std::string name = "phase";
     std::size_t steps = 0;
-    std::size_t burst = 1;  ///< adversary events per step
+    /// Reseed the master rng at phase entry (grammar v2 `seed=`); absent =
+    /// continue the running master stream as before.
+    std::optional<std::uint64_t> seed;
+    std::size_t burst = 1;         ///< adversary events per step
+    std::size_t insert_burst = 0;  ///< forced inserts per step, before `burst`
     double delete_fraction = 0.5;
+    /// Ramp end (grammar v2 `delete_fraction=a..b`); absent = constant.
+    std::optional<double> delete_fraction_end;
     std::size_t min_nodes = 4;  ///< never delete at or below this population
     ComponentSpec deleter{"random", {}};
+    /// Non-empty = composite deleter (grammar v2 `deleter=k1:w1,k2:w2`);
+    /// `deleter` is ignored in that case.
+    std::vector<WeightedDeleter> deleter_mix;
     ComponentSpec inserter{"random-attach", {{"k", "3"}}};
+
+    /// Effective delete fraction at `step` (0-based, < steps): the constant
+    /// `delete_fraction`, or the linear ramp hitting both endpoints —
+    /// a + (b-a) * step/(steps-1) (a single-step ramp evaluates to a).
+    double delete_fraction_at(std::size_t step) const;
 };
 
 /// Terminal assertion on the final metric sample; `xheal_run` turns these

@@ -69,6 +69,7 @@ void burst_spike(ScenarioSpec& spec, util::Rng& rng) {
 void delete_fraction_spike(ScenarioSpec& spec, util::Rng& rng) {
     auto& phase = spec.phases[rng.index(spec.phases.size())];
     phase.delete_fraction = 1.0;
+    phase.delete_fraction_end.reset();  // a spiked ramp is a constant spike
     phase.min_nodes = std::max<std::size_t>(2, phase.min_nodes / 2);
 }
 

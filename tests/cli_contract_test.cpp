@@ -9,7 +9,9 @@
 #include <sys/wait.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "scenario/runner.hpp"
@@ -118,6 +120,46 @@ TEST_F(CliContract, DiffExitCodes) {
     std::string perturbed = testing::TempDir() + "cli_perturbed.jsonl";
     scenario::write_trace_file(perturbed, trace);
     EXPECT_EQ(run_cli("diff " + trace_path_ + " " + perturbed), 1);
+}
+
+TEST_F(CliContract, BatchExitCodes) {
+    // A directory with one passing spec: success, and --json writes the
+    // aggregated report. TempDir persists across runs — start clean so a
+    // previous run's FAIL spec cannot leak into the passing directory.
+    std::string dir = testing::TempDir() + "cli_batch_pass";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::ofstream(dir + "/only.scn") << kPassingSpec;
+    std::string json = testing::TempDir() + "cli_batch.json";
+    EXPECT_EQ(run_cli("batch " + dir + " --json " + json), 0);
+    std::ifstream report(json);
+    std::string body((std::istreambuf_iterator<char>(report)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(body.find("\"schema\": \"xheal-batch-v1\""), std::string::npos);
+    EXPECT_NE(body.find("\"trace_hash\""), std::string::npos);
+
+    // One FAIL spec in the directory: verdict failure.
+    std::ofstream(dir + "/bad.scn") << kFailingSpec;
+    EXPECT_EQ(run_cli("batch " + dir), 1);
+
+    // The tournament override: forcing the no-heal healer onto a spec that
+    // expects connectivity is a verdict failure, not an error.
+    std::string solo = testing::TempDir() + "cli_batch_solo";
+    std::filesystem::remove_all(solo);
+    std::filesystem::create_directories(solo);
+    std::ofstream(solo + "/only.scn") << kPassingSpec;
+    EXPECT_EQ(run_cli("batch " + solo + " --healer no-heal"), 1);
+    EXPECT_EQ(run_cli("batch " + solo + " --healer cycle"), 0);
+
+    // Environment errors: missing directory, empty directory, bad healer
+    // kind (factory throws -> file/parse error class), usage.
+    EXPECT_EQ(run_cli("batch /nonexistent-dir"), 2);
+    std::string empty = testing::TempDir() + "cli_batch_empty";
+    std::filesystem::remove_all(empty);
+    std::filesystem::create_directories(empty);
+    EXPECT_EQ(run_cli("batch " + empty), 2);
+    EXPECT_EQ(run_cli("batch " + solo + " --healer bandaid"), 2);
+    EXPECT_EQ(run_cli("batch"), 2);
 }
 
 TEST_F(CliContract, FuzzExitCodes) {

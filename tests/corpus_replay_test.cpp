@@ -1,0 +1,91 @@
+// Fuzz-corpus replay: every (.scn, .jsonl) reproducer pair checked in
+// under tests/data/corpus/ is replayed byte-for-byte on every ctest run —
+// the same contract as the golden traces, but over *fuzz findings*: each
+// pair was produced by `xheal_run fuzz` catching an invariant violation
+// (the `faulty` drop-repair healer) and ddmin-shrinking it. Replaying them
+// forever pins the three properties every forensics artifact rests on:
+//
+//   1. shrunk reproducers are standalone — the spec alone rebuilds the
+//      session the executor used (no hidden state);
+//   2. canonical applied streams survive strict replay — hashes match
+//      byte-for-byte, including through grammar-v2 specs (ramps, mixtures);
+//   3. the trace format and engine semantics have not drifted — else every
+//      reproducer ever shared in an issue or CI artifact is silently dead.
+//
+// To add a pair: run `xheal_run fuzz <spec> --out tests/data/corpus/<name>`
+// (or `xheal_run shrink`), verify `xheal_run replay` passes, check both
+// files in. Pairs whose violation is a healer exception cannot live here —
+// their strict replay re-raises at the final event by design.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "scenario/trace.hpp"
+
+using namespace xheal;
+
+namespace {
+
+std::filesystem::path corpus_dir() {
+    return std::filesystem::path(XHEAL_REPO_DIR) / "tests" / "data" / "corpus";
+}
+
+std::vector<std::string> corpus_names() {
+    std::vector<std::string> names;
+    for (const auto& entry : std::filesystem::directory_iterator(corpus_dir()))
+        if (entry.is_regular_file() && entry.path().extension() == ".scn")
+            names.push_back(entry.path().stem().string());
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+}  // namespace
+
+// An empty corpus would make the replay suite below pass vacuously; the
+// checked-in seed set (faulty-healer finds, incl. one grammar-v2 spec) is
+// three pairs, and every .scn must have its .jsonl.
+TEST(CorpusReplay, CorpusIsPresentAndPaired) {
+    auto names = corpus_names();
+    EXPECT_GE(names.size(), 3u);
+    for (const auto& name : names) {
+        SCOPED_TRACE(name);
+        EXPECT_TRUE(std::filesystem::exists(corpus_dir() / (name + ".jsonl")))
+            << name << ".scn has no recorded stream";
+    }
+}
+
+class CorpusReplay : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusReplay, PairReplaysByteForByte) {
+    const std::string name = GetParam();
+    auto spec =
+        scenario::ScenarioSpec::parse_file((corpus_dir() / (name + ".scn")).string());
+    auto trace =
+        scenario::read_trace_file((corpus_dir() / (name + ".jsonl")).string());
+
+    // The recorded header still names the checked-in spec.
+    EXPECT_EQ(trace.scenario, spec.name);
+    EXPECT_EQ(trace.seed, spec.seed);
+    EXPECT_EQ(trace.spec_hash, spec.content_hash())
+        << name << ".scn edited since the stream was recorded";
+
+    // Strict replay must reproduce the recorded stream hash and the final
+    // healed-graph fingerprint exactly.
+    auto result = scenario::ScenarioRunner(spec).replay(trace);
+    EXPECT_EQ(result.trace_hash, trace.trace_hash);
+    EXPECT_EQ(result.fingerprint, trace.fingerprint);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusReplay, ::testing::ValuesIn(corpus_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                             std::string name = info.param;
+                             for (char& c : name)
+                                 if (!std::isalnum(static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return name;
+                         });

@@ -1,0 +1,91 @@
+// Differential smoke: the first step toward cross-healer differential
+// fuzzing (ROADMAP). Two runs of one schedule that differ ONLY in the
+// healer must produce the IDENTICAL adversary event stream whenever the
+// adversary is degree-agnostic (random deleter, random-attach inserter):
+// healers add edges but never change the alive set, the alive-pool order,
+// or the master rng consumption. The TraceDiff machinery must therefore
+// attribute the divergence to the repair side — equal events and equal
+// stream hash, different final-graph fingerprint — and never report a
+// bogus first-divergent *event*, which would point debugging at the
+// adversary schedule instead of the healer.
+//
+// This is the property the tournament pack rests on: one schedule, many
+// healers, comparable rows because the trace hash column is constant.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/runner.hpp"
+#include "trace_tools/diff.hpp"
+
+using namespace xheal;
+
+namespace {
+
+scenario::ScenarioSpec spec_with_healer(const std::string& healer) {
+    return scenario::ScenarioSpec::parse(
+        "name diff-smoke\n"
+        "seed 321\n"
+        "topology random-regular n=48 d=4\n"
+        "healer " + healer + "\n"
+        "phase churn steps=60 delete_fraction=0.5 deleter=random "
+        "inserter=random-attach k=3 min_nodes=12\n"
+        "phase drain steps=20 delete_fraction=0.6..0.9 deleter=random "
+        "inserter=random-attach k=3 min_nodes=12\n");
+}
+
+}  // namespace
+
+TEST(DifferentialSmoke, DivergenceIsAttributedToTheFirstRepairNotTheSchedule) {
+    auto xheal_spec = spec_with_healer("xheal d=2");
+    auto baseline_spec = spec_with_healer("cycle");
+
+    auto xheal_run = scenario::ScenarioRunner(xheal_spec).run();
+    auto baseline_run = scenario::ScenarioRunner(baseline_spec).run();
+
+    auto a = xheal_run.to_trace(xheal_spec);
+    auto b = baseline_run.to_trace(baseline_spec);
+    auto diff = trace_tools::diff_traces(a, b);
+
+    // The adversary schedule did not diverge: same events, same stream
+    // hash. Any reported first-divergent event here would be a diff bug.
+    EXPECT_TRUE(diff.events_equal()) << "bogus adversary divergence at event "
+                                     << diff.divergence_index << " (field "
+                                     << diff.divergence_field << ")";
+    EXPECT_TRUE(diff.trace_hash_equal);
+    EXPECT_EQ(a.trace_hash, b.trace_hash);
+
+    // The healers DID diverge — at the very first repair: the schedule
+    // opens with delete pressure, both healers repaired differently, and
+    // the final fingerprints (which see the healer's edges) disagree.
+    EXPECT_FALSE(diff.fingerprint_equal);
+    EXPECT_NE(a.fingerprint, b.fingerprint);
+    EXPECT_FALSE(diff.identical());
+
+    // The rendered diff names the healer side, not an event index.
+    std::string rendered = trace_tools::format_diff(diff, a, b, 2);
+    EXPECT_NE(rendered.find("healer-side divergence"), std::string::npos) << rendered;
+    EXPECT_EQ(rendered.find("first divergent event"), std::string::npos) << rendered;
+
+    // Sanity on the premise itself: both runs actually deleted (so repairs
+    // happened), and a degree-AWARE adversary would not have this
+    // property — documented by the deleter choice in the spec above.
+    std::size_t deletions = 0;
+    for (const auto& e : xheal_run.events)
+        if (e.kind == scenario::TraceEvent::Kind::remove) ++deletions;
+    EXPECT_GT(deletions, 20u);
+}
+
+TEST(DifferentialSmoke, EveryBaselineSharesTheXhealStream) {
+    // The full tournament roster: every healer kind that can run this
+    // schedule produces the identical stream hash. A healer whose repairs
+    // consumed the master rng or mutated the alive pool would break here.
+    auto reference = scenario::ScenarioRunner(spec_with_healer("xheal d=2")).run();
+    for (const char* healer : {"no-heal", "line", "cycle", "star", "forgiving-tree",
+                               "random-match", "xheal-dist d=2"}) {
+        SCOPED_TRACE(healer);
+        auto run = scenario::ScenarioRunner(spec_with_healer(healer)).run();
+        EXPECT_EQ(run.trace_hash, reference.trace_hash);
+        EXPECT_EQ(run.events.size(), reference.events.size());
+    }
+}

@@ -35,10 +35,14 @@ struct Golden {
 };
 
 // The pinned corpus (recorded by xheal_run; see file comment).
+// golden_ramp / golden_mix pin the grammar-v2 keys: delete-fraction ramps,
+// per-phase seeds, composite deleter mixtures, and insert bursts.
 constexpr Golden kCorpus[] = {
     {"golden_star", 1, 0x7e0eafa1d69b9187ull, 0xc9cd300ffb766e10ull},
     {"golden_churn", 35, 0x10cdc4288603deefull, 0x9e375cb2a64b9163ull},
     {"golden_cycle", 25, 0x9e92da93379b885eull, 0x730290a3a8bfadf1ull},
+    {"golden_ramp", 35, 0x7535534326627f9aull, 0xc097a98ecf7dd1dfull},
+    {"golden_mix", 40, 0x3b2589071355fbecull, 0xdc512b12ee4818f2ull},
 };
 
 std::string data_path(const std::string& file) {

@@ -1,0 +1,155 @@
+// Statistical tests for the grammar-v2 schedule machinery: the parsed
+// numbers must MEAN what they say, not just round-trip.
+//
+//   - A composite deleter's realized member frequencies must match its
+//     configured weights (chi-square goodness of fit).
+//   - A delete_fraction=a..b ramp's realized per-window deletion rate must
+//     track the linear schedule within sampling tolerance.
+//
+// Both tests run on fixed seeds, so they are deterministic — the
+// thresholds are chosen for the 99.9th percentile of the respective null
+// distributions, documenting the intent, not absorbing flakiness.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "adversary/adversary.hpp"
+#include "baseline/baselines.hpp"
+#include "core/session.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+using namespace xheal;
+
+namespace {
+
+/// A large no-heal session: picks never run dry and cost nothing.
+core::HealingSession make_pick_session(std::size_t n) {
+    util::Rng rng(5);
+    return core::HealingSession(workload::make_random_regular(n, 4, rng),
+                                std::make_unique<baseline::NoHealHealer>());
+}
+
+}  // namespace
+
+TEST(CompositeDeleterStats, RealizedMixtureMatchesWeightsChiSquare) {
+    // Weights 5:3:2 over three member strategies. The members themselves
+    // are irrelevant to the draw (selection happens before delegation), so
+    // three RandomDeletions keep the test about the mixture alone.
+    const std::vector<double> weights = {0.5, 0.3, 0.2};
+    std::vector<adversary::CompositeDeletion::Member> members;
+    for (double w : weights)
+        members.push_back({std::make_unique<adversary::RandomDeletion>(), w});
+    adversary::CompositeDeletion composite(std::move(members));
+
+    auto session = make_pick_session(256);
+    util::Rng rng(1234);
+    const std::size_t picks = 6000;
+    for (std::size_t i = 0; i < picks; ++i) {
+        ASSERT_NE(composite.pick(session, rng), graph::invalid_node);
+    }
+
+    const auto& counts = composite.pick_counts();
+    ASSERT_EQ(counts.size(), weights.size());
+    std::size_t total = 0;
+    for (std::size_t c : counts) total += c;
+    EXPECT_EQ(total, picks);
+
+    double chi2 = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        double expected = static_cast<double>(picks) * weights[i];
+        double diff = static_cast<double>(counts[i]) - expected;
+        chi2 += diff * diff / expected;
+    }
+    // dof = 2; chi-square 99.9th percentile = 13.82. A wrong cumulative
+    // table (e.g. swapped or unnormalized weights) lands in the hundreds.
+    EXPECT_LT(chi2, 13.82) << "counts: " << counts[0] << "/" << counts[1] << "/"
+                           << counts[2];
+}
+
+TEST(CompositeDeleterStats, UnbalancedMixtureStillReachesEveryMember) {
+    // A 97:3 mixture must still exercise the rare member — the cumulative
+    // table's last entry is pinned to 1.0, so no member is unreachable.
+    std::vector<adversary::CompositeDeletion::Member> members;
+    members.push_back({std::make_unique<adversary::RandomDeletion>(), 97.0});
+    members.push_back({std::make_unique<adversary::MaxDegreeDeletion>(), 3.0});
+    adversary::CompositeDeletion composite(std::move(members));
+
+    auto session = make_pick_session(128);
+    util::Rng rng(42);
+    for (std::size_t i = 0; i < 2000; ++i) composite.pick(session, rng);
+    EXPECT_GT(composite.pick_counts()[0], composite.pick_counts()[1]);
+    EXPECT_GT(composite.pick_counts()[1], 20u);  // E = 60, sd ~ 7.6
+}
+
+TEST(RampStats, EmpiricalDeleteRateTracksTheLinearSchedule) {
+    // One long ramp 0.2 -> 0.8 over 2000 steps against a no-heal baseline
+    // on a large population: the min_nodes floor is never near, so every
+    // delete coin that lands is realized as a delete event and the
+    // realized per-window rate estimates the schedule directly.
+    auto spec = scenario::ScenarioSpec::parse(R"(
+name ramp-stats
+seed 77
+topology random-regular n=1200 d=4
+healer no-heal
+phase ramp steps=2000 delete_fraction=0.2..0.8 deleter=random inserter=random-attach k=3 min_nodes=16
+)");
+    auto result = scenario::ScenarioRunner(spec).run();
+
+    // Bucket the event stream into 8 windows of 250 steps. Every step
+    // carries exactly one event here (deletes never starve with n >> 1 and
+    // blocked deletes would fall through to inserts).
+    const std::size_t steps = 2000, windows = 8, window = steps / windows;
+    std::vector<std::size_t> deletes(windows, 0), events(windows, 0);
+    for (const auto& e : result.events) {
+        std::size_t w = e.step / window;
+        ASSERT_LT(w, windows);
+        ++events[w];
+        if (e.kind == scenario::TraceEvent::Kind::remove) ++deletes[w];
+    }
+
+    const auto& phase = spec.phases[0];
+    for (std::size_t w = 0; w < windows; ++w) {
+        ASSERT_EQ(events[w], window);  // one event per step, none skipped
+        double realized =
+            static_cast<double>(deletes[w]) / static_cast<double>(events[w]);
+        // Expected rate at the window midpoint; the schedule is linear so
+        // the window average equals the midpoint value.
+        double expected = phase.delete_fraction_at(w * window + window / 2);
+        // Binomial sd at p=0.5, n=250 is 0.032; 0.11 is ~3.5 sigma and the
+        // windows are independent draws of the master stream.
+        EXPECT_NEAR(realized, expected, 0.11)
+            << "window " << w << ": " << deletes[w] << "/" << events[w];
+    }
+
+    // The ramp's global shape: the last window deletes far more often than
+    // the first (a constant-fraction bug would fail this even if every
+    // window sneaks under the tolerance).
+    EXPECT_GT(deletes[windows - 1], deletes[0] + 60);
+}
+
+TEST(RampStats, ConstantFractionPhasesAreUntouchedByTheRampMachinery) {
+    // A constant-fraction control on the same seed/topology: realized rate
+    // sits near the constant in every window (regression guard against
+    // delete_fraction_at accidentally ramping the plain form).
+    auto spec = scenario::ScenarioSpec::parse(R"(
+name flat-stats
+seed 77
+topology random-regular n=1200 d=4
+healer no-heal
+phase flat steps=2000 delete_fraction=0.5 deleter=random inserter=random-attach k=3 min_nodes=16
+)");
+    auto result = scenario::ScenarioRunner(spec).run();
+
+    const std::size_t steps = 2000, windows = 4, window = steps / windows;
+    std::vector<std::size_t> deletes(windows, 0);
+    for (const auto& e : result.events)
+        if (e.kind == scenario::TraceEvent::Kind::remove) ++deletes[e.step / window];
+    for (std::size_t w = 0; w < windows; ++w) {
+        double realized = static_cast<double>(deletes[w]) / static_cast<double>(window);
+        EXPECT_NEAR(realized, 0.5, 0.08) << "window " << w;
+    }
+}

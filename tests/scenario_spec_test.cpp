@@ -2,6 +2,7 @@
 // access, and registry factory coverage (every listed name constructs).
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <stdexcept>
 
 #include "scenario/registry.hpp"
@@ -121,6 +122,110 @@ TEST(ScenarioSpec, RejectionMessagesNameLineAndFragment) {
     expect_rejects(prologue + "phase p steps=1\nexpect entropy >= 1\n", "entropy");
 }
 
+TEST(ScenarioSpecV2, ParsesTheGrammarV2PhaseKeys) {
+    auto spec = ScenarioSpec::parse(
+        "topology random-regular n=32 d=4\nhealer xheal\n"
+        "phase ramp steps=50 seed=9 insert_burst=2 delete_fraction=0.1..0.9 "
+        "deleter=random:0.7,max-degree:0.3 min_nodes=6\n"
+        "phase tail steps=10 delete_fraction=0.5\n");
+    ASSERT_EQ(spec.phases.size(), 2u);
+    const auto& ramp = spec.phases[0];
+    ASSERT_TRUE(ramp.seed.has_value());
+    EXPECT_EQ(*ramp.seed, 9u);
+    EXPECT_EQ(ramp.insert_burst, 2u);
+    EXPECT_DOUBLE_EQ(ramp.delete_fraction, 0.1);
+    ASSERT_TRUE(ramp.delete_fraction_end.has_value());
+    EXPECT_DOUBLE_EQ(*ramp.delete_fraction_end, 0.9);
+    ASSERT_EQ(ramp.deleter_mix.size(), 2u);
+    EXPECT_EQ(ramp.deleter_mix[0].component.kind, "random");
+    EXPECT_DOUBLE_EQ(ramp.deleter_mix[0].weight, 0.7);
+    EXPECT_EQ(ramp.deleter_mix[1].component.kind, "max-degree");
+    EXPECT_DOUBLE_EQ(ramp.deleter_mix[1].weight, 0.3);
+    // The second phase stays plain: no seed, no ramp, no mixture.
+    EXPECT_FALSE(spec.phases[1].seed.has_value());
+    EXPECT_FALSE(spec.phases[1].delete_fraction_end.has_value());
+    EXPECT_TRUE(spec.phases[1].deleter_mix.empty());
+
+    // The ramp hits both endpoints and interpolates linearly between them.
+    EXPECT_DOUBLE_EQ(ramp.delete_fraction_at(0), 0.1);
+    EXPECT_DOUBLE_EQ(ramp.delete_fraction_at(49), 0.9);
+    EXPECT_NEAR(ramp.delete_fraction_at(24), 0.1 + 0.8 * 24.0 / 49.0, 1e-12);
+    EXPECT_DOUBLE_EQ(spec.phases[1].delete_fraction_at(5), 0.5);
+
+    // Canonical round-trip covers every v2 key.
+    std::string canonical = spec.to_text();
+    auto reparsed = ScenarioSpec::parse(canonical);
+    EXPECT_EQ(reparsed.to_text(), canonical);
+    EXPECT_EQ(reparsed.content_hash(), spec.content_hash());
+    EXPECT_NE(canonical.find("seed=9"), std::string::npos);
+    EXPECT_NE(canonical.find("insert_burst=2"), std::string::npos);
+    EXPECT_NE(canonical.find("delete_fraction=0.1..0.9"), std::string::npos);
+    EXPECT_NE(canonical.find("deleter=random:0.7,max-degree:0.3"), std::string::npos);
+}
+
+TEST(ScenarioSpecV2, LastDeleterKeyWinsInBothDirections) {
+    const std::string prologue = "topology star\nhealer xheal\n";
+    // Mixture overrides an earlier plain kind…
+    auto a = ScenarioSpec::parse(
+        prologue + "phase p steps=1 deleter=cut-point deleter=random:0.5,max-degree:0.5\n");
+    EXPECT_EQ(a.phases[0].deleter_mix.size(), 2u);
+    // …and a plain kind overrides an earlier mixture.
+    auto b = ScenarioSpec::parse(
+        prologue + "phase p steps=1 deleter=random:0.5,max-degree:0.5 deleter=cut-point\n");
+    EXPECT_TRUE(b.phases[0].deleter_mix.empty());
+    EXPECT_EQ(b.phases[0].deleter.kind, "cut-point");
+    EXPECT_NE(b.to_text().find("deleter=cut-point"), std::string::npos);
+}
+
+TEST(ScenarioSpecV2, RejectsMalformedRampsAndMixtures) {
+    const std::string prologue = "topology star\nhealer xheal\n";
+    // Ramps: reversed, negative, out-of-range, missing bounds, junk bounds.
+    expect_rejects(prologue + "phase p steps=1 delete_fraction=0.9..0.1\n", "reversed");
+    expect_rejects(prologue + "phase p steps=1 delete_fraction=-0.1..0.5\n", ">= 0");
+    expect_rejects(prologue + "phase p steps=1 delete_fraction=0.5..1.5\n", "<= 1");
+    expect_rejects(prologue + "phase p steps=1 delete_fraction=0.1..\n", "bounds");
+    expect_rejects(prologue + "phase p steps=1 delete_fraction=..0.9\n", "bounds");
+    expect_rejects(prologue + "phase p steps=1 delete_fraction=a..b\n", "bad number");
+    // Mixtures: negative weight, non-normalizable (all-zero) weights,
+    // missing weight, missing kind, dotted params against a mixture.
+    expect_rejects(prologue + "phase p steps=1 deleter=random:-1,max-degree:2\n",
+                   "negative");
+    expect_rejects(prologue + "phase p steps=1 deleter=random:0,max-degree:0\n",
+                   "normalizable");
+    expect_rejects(prologue + "phase p steps=1 deleter=random:0.5,max-degree\n",
+                   "kind:weight");
+    expect_rejects(prologue + "phase p steps=1 deleter=:0.5\n", "kind:weight");
+    expect_rejects(prologue + "phase p steps=1 deleter=random:\n", "kind:weight");
+    expect_rejects(prologue + "phase p steps=1 deleter=random:0.5,max-degree:0.5 "
+                              "deleter.k=2\n",
+                   "deleter.*");
+    // Phase seed must be a u64.
+    expect_rejects(prologue + "phase p steps=1 seed=-4\n", "-4");
+    expect_rejects(prologue + "phase p steps=1 seed=lots\n", "lots");
+}
+
+TEST(ScenarioRegistryV2, PhaseDeleterFactoryBuildsSinglesAndMixtures) {
+    scenario::PhaseSpec single;
+    single.deleter.kind = "max-degree";
+    auto s = scenario::make_phase_deleter(single, nullptr);
+    EXPECT_EQ(s->name(), "max-degree");
+
+    scenario::PhaseSpec mixed;
+    mixed.deleter_mix.push_back({ComponentSpec{"random", {}}, 0.7});
+    mixed.deleter_mix.push_back({ComponentSpec{"max-degree", {}}, 0.3});
+    auto m = scenario::make_phase_deleter(mixed, nullptr);
+    EXPECT_EQ(m->name(), "composite");
+
+    // Member kinds go through make_deleter: unknown kinds and capability
+    // requirements (bridge-hunter without a registry) throw identically.
+    scenario::PhaseSpec bogus;
+    bogus.deleter_mix.push_back({ComponentSpec{"chaos", {}}, 1.0});
+    EXPECT_THROW(scenario::make_phase_deleter(bogus, nullptr), std::runtime_error);
+    scenario::PhaseSpec hunter;
+    hunter.deleter_mix.push_back({ComponentSpec{"bridge-hunter", {}}, 1.0});
+    EXPECT_THROW(scenario::make_phase_deleter(hunter, nullptr), std::runtime_error);
+}
+
 TEST(ScenarioRegistry, UnknownFactoryKindsAreRejectedByEveryFactory) {
     util::Rng rng(4);
     EXPECT_THROW(scenario::make_topology(ComponentSpec{"tesseract", {}}, rng),
@@ -140,13 +245,17 @@ TEST(ScenarioRegistry, UnknownFactoryKindsAreRejectedByEveryFactory) {
 }
 
 TEST(ScenarioSpec, EveryBundledScenarioParsesAndRoundTrips) {
-    const std::string dir = std::string(XHEAL_REPO_DIR) + "/scenarios/";
-    const char* bundled[] = {"bridge_hunter.scn", "dex_scale.scn", "hub_assault.scn",
-                             "p2p_churn.scn",     "phased_churn.scn",
-                             "star_collapse.scn"};
-    for (const char* name : bundled) {
-        SCOPED_TRACE(name);
-        auto spec = ScenarioSpec::parse_file(dir + name);
+    // Everything under scenarios/ — the top-level specs plus the pack tree
+    // (scenarios/packs/*/*.scn, the batch-runner corpus).
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(
+             std::string(XHEAL_REPO_DIR) + "/scenarios"))
+        if (entry.is_regular_file() && entry.path().extension() == ".scn")
+            files.push_back(entry.path().string());
+    EXPECT_GE(files.size(), 16u);  // 6 top-level + 10 pack specs at minimum
+    for (const std::string& path : files) {
+        SCOPED_TRACE(path);
+        auto spec = ScenarioSpec::parse_file(path);
         EXPECT_FALSE(spec.phases.empty());
         std::string canonical = spec.to_text();
         auto reparsed = ScenarioSpec::parse(canonical);

@@ -9,6 +9,13 @@
 //       trace; --json appends a BENCH_scenarios.json steps/sec + probe-cost
 //       report; --max-steps truncates the schedule after N total steps (CI
 //       smoke runs of large specs such as dex_scale.scn).
+//   xheal_run batch <dir> [--healer KIND] [--json FILE] [--max-steps N]
+//       Run every *.scn in <dir> (sorted by filename, so reports are
+//       deterministic) and emit one aggregated JSON report: per-spec
+//       verdict, stream hash, final-graph fingerprint, stepping and probe
+//       throughput. --healer overrides every spec's healer kind — the
+//       tournament mode: the same schedule directory scored against
+//       different healers produces comparable hash/metric rows.
 //   xheal_run replay <spec.scn> <trace.jsonl>
 //       Re-apply a recorded trace against a fresh session from the same
 //       spec and verify trace hash + final-graph fingerprint byte-for-byte.
@@ -39,7 +46,9 @@
 //   1 — verdict failure: expectation FAIL, replay mismatch, diff
 //       divergence, fuzz findings, shrink input that breaks no invariant
 //   2 — usage, missing/unreadable file, or malformed spec/trace
+#include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -58,6 +67,8 @@ namespace {
 int usage() {
     std::cerr << "usage:\n"
               << "  xheal_run run <spec.scn>... [--trace FILE] [--json FILE] "
+                 "[--max-steps N]\n"
+              << "  xheal_run batch <dir> [--healer KIND] [--json FILE] "
                  "[--max-steps N]\n"
               << "  xheal_run replay <spec.scn> <trace.jsonl>\n"
               << "  xheal_run print <spec.scn>\n"
@@ -185,6 +196,19 @@ int write_json(const std::string& path, const std::vector<JsonRow>& rows) {
     return 0;
 }
 
+/// Truncate a schedule after `max_steps` total steps, dropping now-empty
+/// phases (reduced CI smoke runs of large specs). 0 = unlimited.
+void truncate_schedule(scenario::ScenarioSpec& spec, std::size_t max_steps) {
+    if (max_steps == 0) return;
+    std::size_t remaining = max_steps;
+    for (auto& phase : spec.phases) {
+        phase.steps = std::min(phase.steps, remaining);
+        remaining -= phase.steps;
+    }
+    std::erase_if(spec.phases,
+                  [](const scenario::PhaseSpec& p) { return p.steps == 0; });
+}
+
 int cmd_run(const std::vector<std::string>& args) {
     std::vector<std::string> spec_paths;
     std::string trace_path, json_path;
@@ -217,17 +241,7 @@ int cmd_run(const std::vector<std::string>& args) {
     std::vector<JsonRow> json_rows;
     for (const std::string& path : spec_paths) {
         auto spec = scenario::ScenarioSpec::parse_file(path);
-        if (max_steps > 0) {
-            // Truncate the schedule after max_steps total steps, dropping
-            // now-empty phases (reduced CI smoke runs of large specs).
-            std::size_t remaining = max_steps;
-            for (auto& phase : spec.phases) {
-                phase.steps = std::min(phase.steps, remaining);
-                remaining -= phase.steps;
-            }
-            std::erase_if(spec.phases,
-                          [](const scenario::PhaseSpec& p) { return p.steps == 0; });
-        }
+        truncate_schedule(spec, max_steps);
         scenario::ScenarioRunner runner(spec);
         auto result = runner.run();
 
@@ -256,6 +270,187 @@ int cmd_run(const std::vector<std::string>& args) {
                              result.passed()});
     }
     if (!json_path.empty() && write_json(json_path, json_rows) != 0) return 1;
+    return all_pass ? 0 : 1;
+}
+
+/// One spec's outcome inside a batch report. Timing fields are the only
+/// non-deterministic members — everything else (verdict, hashes, counts)
+/// must be identical across runs of the same directory.
+struct BatchRow {
+    std::string file;      ///< filename within the batch directory
+    std::string scenario;  ///< spec name (post-override)
+    std::string healer;    ///< effective healer kind
+    bool pass = false;
+    std::size_t steps = 0;
+    std::size_t events = 0;
+    std::uint64_t trace_hash = 0;
+    std::uint64_t fingerprint = 0;
+    double seconds = 0.0;
+    double steps_per_sec = 0.0;
+    double probe_seconds = 0.0;
+    std::size_t samples = 0;
+    std::vector<std::string> failures;
+};
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    for (char c : text) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+int write_batch_json(const std::string& path, const std::string& dir,
+                     const std::string& healer_override,
+                     const std::vector<BatchRow>& rows) {
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot open " << path << "\n";
+        return 1;
+    }
+    out << "{\n  \"schema\": \"xheal-batch-v1\",\n"
+        << "  \"note\": \"aggregated batch report: per-spec verdict, deterministic "
+           "stream hash + final-graph fingerprint, and stepping/probe throughput; "
+           "hashes and verdicts are reproducible bit-for-bit, timing fields are "
+           "not\",\n"
+        << "  \"dir\": \"" << json_escape(dir) << "\",\n"
+        << "  \"healer_override\": \"" << json_escape(healer_override) << "\",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const BatchRow& r = rows[i];
+        double probe_ms_per_sample =
+            r.samples > 0 ? r.probe_seconds * 1000.0 / static_cast<double>(r.samples)
+                          : 0.0;
+        out << "    {\"file\": \"" << json_escape(r.file) << "\", \"scenario\": \""
+            << json_escape(r.scenario) << "\", \"healer\": \"" << json_escape(r.healer)
+            << "\", \"pass\": " << (r.pass ? "true" : "false")
+            << ", \"steps\": " << r.steps << ", \"events\": " << r.events
+            << ", \"trace_hash\": \"" << scenario::hex64(r.trace_hash)
+            << "\", \"fingerprint\": \"" << scenario::hex64(r.fingerprint)
+            << "\", \"seconds\": " << util::format_double(r.seconds, 6)
+            << ", \"steps_per_sec\": " << static_cast<std::uint64_t>(r.steps_per_sec)
+            << ", \"probe_seconds\": " << util::format_double(r.probe_seconds, 6)
+            << ", \"samples\": " << r.samples
+            << ", \"probe_ms_per_sample\": " << util::format_double(probe_ms_per_sample, 3)
+            << ", \"failures\": [";
+        for (std::size_t f = 0; f < r.failures.size(); ++f)
+            out << (f == 0 ? "" : ", ") << "\"" << json_escape(r.failures[f]) << "\"";
+        out << "]}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+    return 0;
+}
+
+int cmd_batch(const std::vector<std::string>& args) {
+    std::string dir, json_path, healer_override;
+    std::size_t max_steps = 0;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--json") {
+            if (++i >= args.size()) return usage();
+            json_path = args[i];
+        } else if (args[i] == "--healer") {
+            if (++i >= args.size()) return usage();
+            healer_override = args[i];
+        } else if (args[i] == "--max-steps") {
+            if (++i >= args.size()) return usage();
+            if (!parse_count(args[i], max_steps) || max_steps == 0) {
+                std::cerr << "--max-steps needs a positive integer, got '" << args[i]
+                          << "'\n";
+                return 2;
+            }
+        } else if (dir.empty()) {
+            dir = args[i];
+        } else {
+            return usage();
+        }
+    }
+    if (dir.empty()) return usage();
+
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+        std::cerr << "batch: not a directory: " << dir << "\n";
+        return 2;
+    }
+    // Sorted filenames, not directory order: the report (and its hashes)
+    // must be byte-stable across filesystems.
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(dir))
+        if (entry.is_regular_file() && entry.path().extension() == ".scn")
+            files.push_back(entry.path().filename().string());
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+        std::cerr << "batch: no .scn specs in " << dir << "\n";
+        return 2;
+    }
+
+    bool all_pass = true;
+    std::vector<BatchRow> rows;
+    for (const std::string& file : files) {
+        auto spec = scenario::ScenarioSpec::parse_file((fs::path(dir) / file).string());
+        if (!healer_override.empty())
+            // Kind replacement drops the spec's healer params: a tournament
+            // scores healers at their registry defaults, not with one
+            // contestant's tuning applied to another.
+            spec.healer = scenario::ComponentSpec{healer_override, {}};
+        truncate_schedule(spec, max_steps);
+        scenario::ScenarioRunner runner(spec);
+        auto result = runner.run();
+
+        BatchRow row;
+        row.file = file;
+        row.scenario = spec.name;
+        row.healer = spec.healer.kind;
+        row.pass = result.passed();
+        row.steps = result.steps_done;
+        row.events = result.events.size();
+        row.trace_hash = result.trace_hash;
+        row.fingerprint = result.fingerprint;
+        row.seconds = result.seconds;
+        row.steps_per_sec = result.steps_per_sec();
+        row.probe_seconds = result.probe_seconds;
+        row.samples = result.samples.size();
+        row.failures = result.failures;
+        rows.push_back(std::move(row));
+
+        for (const auto& failure : result.failures)
+            std::cout << "expectation failed — " << spec.name << ": " << failure << "\n";
+        std::cout << "VERDICT batch-" << spec.name << " "
+                  << (result.passed() ? "PASS" : "FAIL") << " — " << file << ", healer "
+                  << spec.healer.kind << ", " << result.events.size() << " events, trace "
+                  << scenario::hex64(result.trace_hash) << ", fingerprint "
+                  << scenario::hex64(result.fingerprint) << "\n";
+        all_pass = all_pass && result.passed();
+    }
+
+    util::Table table({"file", "scenario", "healer", "verdict", "steps", "events",
+                       "steps/sec", "probe-ms/sample", "trace", "fingerprint"});
+    for (const BatchRow& r : rows) {
+        double probe_ms = r.samples > 0
+                              ? r.probe_seconds * 1000.0 / static_cast<double>(r.samples)
+                              : 0.0;
+        table.row()
+            .add(r.file)
+            .add(r.scenario)
+            .add(r.healer)
+            .add(r.pass ? "PASS" : "FAIL")
+            .add(r.steps)
+            .add(r.events)
+            .add(util::format_double(r.steps_per_sec, 0))
+            .add(util::format_double(probe_ms, 2))
+            .add(scenario::hex64(r.trace_hash))
+            .add(scenario::hex64(r.fingerprint));
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "VERDICT batch " << (all_pass ? "PASS" : "FAIL") << " — " << rows.size()
+              << " specs from " << dir << "\n";
+
+    if (!json_path.empty() &&
+        write_batch_json(json_path, dir, healer_override, rows) != 0)
+        return 1;
     return all_pass ? 0 : 1;
 }
 
@@ -500,12 +695,14 @@ int cmd_list() {
     print_list("deleters  ", scenario::deleter_names());
     print_list("inserters ", scenario::inserter_names());
     print_list("probes    ", {"connected", "degree", "expansion", "lambda2", "stretch"});
-    std::cout << "\nspec grammar (see DESIGN.md decision 5):\n"
+    std::cout << "\nspec grammar (see DESIGN.md decisions 5 and 8):\n"
               << "  name <id> | seed <n> | topology <kind> k=v... | healer <kind> k=v...\n"
               << "  probes <name>... | sample_every <n> | stretch_samples <n>\n"
-              << "  phase <id> steps=N [burst=B] [delete_fraction=F] [min_nodes=M]\n"
-              << "        [deleter=<kind>] [inserter=<kind>] [k=K] [deleter.x=v] "
-                 "[inserter.x=v]\n"
+              << "  phase <id> steps=N [seed=S] [burst=B] [insert_burst=I]\n"
+              << "        [delete_fraction=F | delete_fraction=A..B] [min_nodes=M]\n"
+              << "        [deleter=<kind> | deleter=<k1>:<w1>,<k2>:<w2>] "
+                 "[inserter=<kind>]\n"
+              << "        [k=K] [deleter.x=v] [inserter.x=v]\n"
               << "  expect connected | expect <metric> <=|>= <value>\n";
     return 0;
 }
@@ -518,6 +715,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> args(argv + 2, argv + argc);
     try {
         if (command == "run") return cmd_run(args);
+        if (command == "batch") return cmd_batch(args);
         if (command == "replay") return cmd_replay(args);
         if (command == "print") return cmd_print(args);
         if (command == "list") return cmd_list();
