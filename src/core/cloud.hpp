@@ -11,7 +11,6 @@
 
 #include <algorithm>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -50,8 +49,37 @@ struct Cloud {
 
     /// Secondary clouds only: which primary cloud each bridge member
     /// represents; invalid_color for bridges that entered as singleton units
-    /// (e.g. black neighbors of a deleted node).
-    std::unordered_map<graph::NodeId, graph::ColorId> bridge_assoc;
+    /// (e.g. black neighbors of a deleted node). Sorted by bridge id (a flat
+    /// vector so pooled clouds reuse capacity and iteration is ordered —
+    /// consumers that feed rng-driven choices rely on the deterministic
+    /// order).
+    std::vector<std::pair<graph::NodeId, graph::ColorId>> bridge_assoc;
+
+    /// Association of bridge v, or invalid_color when v has none recorded.
+    graph::ColorId bridge_assoc_of(graph::NodeId v) const {
+        auto it = assoc_lower_bound(v);
+        return it != bridge_assoc.end() && it->first == v ? it->second
+                                                         : graph::invalid_color;
+    }
+    bool has_bridge_assoc(graph::NodeId v) const {
+        auto it = assoc_lower_bound(v);
+        return it != bridge_assoc.end() && it->first == v;
+    }
+    /// Insert or overwrite v's association.
+    void set_bridge_assoc(graph::NodeId v, graph::ColorId c) {
+        auto it = bridge_assoc.begin() + (assoc_lower_bound(v) - bridge_assoc.begin());
+        if (it != bridge_assoc.end() && it->first == v) it->second = c;
+        else bridge_assoc.insert(it, {v, c});
+    }
+    /// Drop v's association; returns false if absent.
+    bool erase_bridge_assoc(graph::NodeId v) {
+        auto at = assoc_lower_bound(v) - bridge_assoc.begin();
+        if (static_cast<std::size_t>(at) == bridge_assoc.size() ||
+            bridge_assoc[at].first != v)
+            return false;
+        bridge_assoc.erase(bridge_assoc.begin() + at);
+        return true;
+    }
 
     /// Distributed invariants (paper Section 5, Case 1): every cloud keeps a
     /// randomly chosen leader plus a vice-leader that takes over when the
@@ -65,9 +93,32 @@ struct Cloud {
     Cloud(graph::ColorId c, CloudKind k, expander::CloudTopology topo)
         : color(c), kind(k), topology(std::move(topo)) {}
 
+    /// Re-initialize the bookkeeping for pooled reuse under a fresh color.
+    /// The topology is reset separately (CloudTopology::reset) so its
+    /// buffers — and this struct's vectors — keep their capacity.
+    void reset(graph::ColorId c, CloudKind k) {
+        color = c;
+        kind = k;
+        claimed.clear();
+        bridge_assoc.clear();
+        leader = graph::invalid_node;
+        vice_leader = graph::invalid_node;
+        rebuild_count = 0;
+    }
+
     std::size_t size() const { return topology.size(); }
     bool has_member(graph::NodeId v) const { return topology.contains(v); }
     std::vector<graph::NodeId> members_sorted() const { return topology.members_sorted(); }
+
+private:
+    std::vector<std::pair<graph::NodeId, graph::ColorId>>::const_iterator
+    assoc_lower_bound(graph::NodeId v) const {
+        return std::lower_bound(
+            bridge_assoc.begin(), bridge_assoc.end(), v,
+            [](const std::pair<graph::NodeId, graph::ColorId>& e, graph::NodeId id) {
+                return e.first < id;
+            });
+    }
 };
 
 }  // namespace xheal::core

@@ -26,14 +26,43 @@ ColorId CloudRegistry::create_cloud(Graph& g, CloudKind kind,
     }
 
     ColorId color = next_color_++;
-    auto cloud = std::make_unique<Cloud>(
-        color, kind, expander::CloudTopology(members, d_, rng));
+    Cloud* cloud;
+    if (!free_slots_.empty()) {
+        // Arena path: revive a destroyed cloud in place. reset() clears the
+        // bookkeeping and topology.reset consumes exactly the rng draws a
+        // fresh construction would, so pooled and fresh clouds behave
+        // identically.
+        std::uint32_t slot = free_slots_.back();
+        free_slots_.pop_back();
+        cloud = pool_[slot].get();
+        cloud->reset(color, kind);
+        cloud->topology.reset(members, d_, rng);
+        index_.push_back({color, slot});  // colors are monotone: stays sorted
+    } else {
+        std::uint32_t slot = static_cast<std::uint32_t>(pool_.size());
+        pool_.push_back(std::make_unique<Cloud>(
+            color, kind, expander::CloudTopology(members, d_, rng)));
+        cloud = pool_[slot].get();
+        index_.push_back({color, slot});
+    }
     for (NodeId v : cloud->topology.members()) register_membership(v, color);
-    Cloud& ref = *cloud;
-    clouds_.emplace(color, std::move(cloud));
-    sync_claims(g, ref, claims_added, nullptr);
-    fix_leadership(ref, rng);
+    sync_claims(g, *cloud, claims_added, nullptr);
+    fix_leadership(*cloud, rng);
     return color;
+}
+
+std::size_t CloudRegistry::index_lower_bound(ColorId color) const {
+    auto it = std::lower_bound(
+        index_.begin(), index_.end(), color,
+        [](const std::pair<ColorId, std::uint32_t>& e, ColorId c) { return e.first < c; });
+    return static_cast<std::size_t>(it - index_.begin());
+}
+
+void CloudRegistry::release_cloud(ColorId color) {
+    std::size_t at = index_lower_bound(color);
+    XHEAL_ASSERT(at < index_.size() && index_[at].first == color);
+    free_slots_.push_back(index_[at].second);
+    index_.erase(index_.begin() + static_cast<std::ptrdiff_t>(at));
 }
 
 void CloudRegistry::destroy_cloud(Graph& g, ColorId color, std::size_t* claims_removed) {
@@ -46,7 +75,7 @@ void CloudRegistry::destroy_cloud(Graph& g, ColorId color, std::size_t* claims_r
         }
     }
     for (NodeId v : cloud->topology.members()) unregister_membership(v, color);
-    clouds_.erase(color);
+    release_cloud(color);
 }
 
 NodeId CloudRegistry::remove_member(Graph& g, ColorId color, NodeId v, util::Rng& rng,
@@ -73,7 +102,8 @@ NodeId CloudRegistry::remove_member(Graph& g, ColorId color, NodeId v, util::Rng
     }
     cloud->claimed.erase(keep, cloud->claimed.end());
     unregister_membership(v, color);
-    cloud->bridge_assoc.erase(v);
+    if (deleted_from_graph) retire_membership_row(v);
+    cloud->erase_bridge_assoc(v);
 
     if (cloud->size() <= 2) {
         // Dissolve: fewer than 2 members remain after v leaves.
@@ -90,7 +120,7 @@ NodeId CloudRegistry::remove_member(Graph& g, ColorId color, NodeId v, util::Rng
             }
         }
         if (survivor != graph::invalid_node) unregister_membership(survivor, color);
-        clouds_.erase(color);
+        release_cloud(color);
         return survivor;
     }
 
@@ -128,13 +158,15 @@ void CloudRegistry::insert_member(Graph& g, ColorId color, NodeId v, util::Rng& 
 }
 
 Cloud* CloudRegistry::find(ColorId color) {
-    auto it = clouds_.find(color);
-    return it == clouds_.end() ? nullptr : it->second.get();
+    std::size_t at = index_lower_bound(color);
+    return at < index_.size() && index_[at].first == color ? pool_[index_[at].second].get()
+                                                           : nullptr;
 }
 
 const Cloud* CloudRegistry::find(ColorId color) const {
-    auto it = clouds_.find(color);
-    return it == clouds_.end() ? nullptr : it->second.get();
+    std::size_t at = index_lower_bound(color);
+    return at < index_.size() && index_[at].first == color ? pool_[index_[at].second].get()
+                                                           : nullptr;
 }
 
 void CloudRegistry::primary_clouds_of(NodeId v, std::vector<ColorId>& out) const {
@@ -161,21 +193,25 @@ std::optional<ColorId> CloudRegistry::secondary_cloud_of(NodeId v) const {
     return std::nullopt;
 }
 
-std::vector<NodeId> CloudRegistry::free_members_of(ColorId color) const {
+void CloudRegistry::free_members_of(ColorId color, std::vector<NodeId>& out) const {
     const Cloud* cloud = find(color);
     XHEAL_EXPECTS(cloud != nullptr);
-    std::vector<NodeId> out;
+    out.clear();
     for (NodeId v : cloud->topology.members()) {
         if (is_free(v)) out.push_back(v);
-    }
+    }  // members() is sorted, so out is ascending
+}
+
+std::vector<NodeId> CloudRegistry::free_members_of(ColorId color) const {
+    std::vector<NodeId> out;
+    free_members_of(color, out);
     return out;
 }
 
 std::vector<ColorId> CloudRegistry::colors() const {
     std::vector<ColorId> out;
-    out.reserve(clouds_.size());
-    for (const auto& [c, _] : clouds_) out.push_back(c);
-    std::sort(out.begin(), out.end());
+    out.reserve(index_.size());
+    for (const auto& [c, _] : index_) out.push_back(c);  // index_ is sorted
     return out;
 }
 
@@ -249,7 +285,13 @@ void CloudRegistry::fix_leadership(Cloud& cloud, util::Rng& rng) {
 
 void CloudRegistry::register_membership(NodeId v, ColorId color) {
     if (memberships_.size() <= v) memberships_.resize(v + 1);
-    util::sorted_insert(memberships_[v], color);
+    std::vector<ColorId>& row = memberships_[v];
+    if (row.capacity() == 0 && !membership_pool_.empty()) {
+        row = std::move(membership_pool_.back());
+        membership_pool_.pop_back();
+        row.clear();
+    }
+    util::sorted_insert(row, color);
 }
 
 void CloudRegistry::unregister_membership(NodeId v, ColorId color) {
@@ -257,8 +299,22 @@ void CloudRegistry::unregister_membership(NodeId v, ColorId color) {
     util::sorted_erase(memberships_[v], color);
 }
 
+void CloudRegistry::retire_membership_row(NodeId v) {
+    if (v >= memberships_.size()) return;
+    std::vector<ColorId>& row = memberships_[v];
+    if (row.empty() && row.capacity() != 0 &&
+        membership_pool_.size() < membership_pool_cap) {
+        // One-time full reserve: the pool's own growth must not allocate
+        // mid-run either (the steady-state soaks pin repair at zero).
+        if (membership_pool_.capacity() == 0)
+            membership_pool_.reserve(membership_pool_cap);
+        membership_pool_.push_back(std::move(row));
+    }
+}
+
 void CloudRegistry::verify(const Graph& g) const {
-    for (const auto& [color, cloud] : clouds_) {
+    for (const auto& [color, slot] : index_) {
+        const Cloud* cloud = pool_[slot].get();
         XHEAL_ASSERT(cloud->color == color);
         XHEAL_ASSERT(cloud->size() >= 2);
         const std::vector<NodeId>& members = cloud->topology.members();

@@ -14,9 +14,9 @@
 //   * every cloud has a leader and (when size >= 2) a distinct vice-leader.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -68,7 +68,7 @@ public:
 
     Cloud* find(graph::ColorId color);
     const Cloud* find(graph::ColorId color) const;
-    bool exists(graph::ColorId color) const { return clouds_.contains(color); }
+    bool exists(graph::ColorId color) const { return find(color) != nullptr; }
 
     /// Colors of the primary clouds containing v, ascending. Empty if none.
     std::vector<graph::ColorId> primary_clouds_of(graph::NodeId v) const;
@@ -86,10 +86,14 @@ public:
     /// Free members of a cloud, ascending.
     std::vector<graph::NodeId> free_members_of(graph::ColorId color) const;
 
+    /// Allocation-free variant: fills `out` (cleared first). The healer's
+    /// connect_units path feeds its scratch buffers here.
+    void free_members_of(graph::ColorId color, std::vector<graph::NodeId>& out) const;
+
     /// All live colors, ascending.
     std::vector<graph::ColorId> colors() const;
 
-    std::size_t cloud_count() const { return clouds_.size(); }
+    std::size_t cloud_count() const { return index_.size(); }
 
     /// True if v belongs to at least one cloud.
     bool in_any_cloud(graph::NodeId v) const;
@@ -117,15 +121,40 @@ private:
 
     void register_membership(graph::NodeId v, graph::ColorId color);
     void unregister_membership(graph::NodeId v, graph::ColorId color);
+    /// v was deleted from the graph and left its last cloud: recycle its
+    /// membership row's storage for a future fresh id.
+    void retire_membership_row(graph::NodeId v);
+
+    /// Unlink `color` from the directory and return its pool slot to the
+    /// free list; the Cloud object (and its buffer capacities) is retained
+    /// for the next create_cloud.
+    void release_cloud(graph::ColorId color);
+
+    /// Directory position of `color` (insertion point when absent).
+    std::size_t index_lower_bound(graph::ColorId color) const;
 
     std::size_t d_;
     bool rebuild_on_half_loss_;
     graph::ColorId next_color_ = 1;  // 0 is invalid_color
-    std::unordered_map<graph::ColorId, std::unique_ptr<Cloud>> clouds_;
+    /// Cloud arena: pool_ owns every Cloud ever created (unique_ptr so Cloud
+    /// pointers stay stable); destroyed clouds push their slot onto
+    /// free_slots_ and create_cloud revives them in place, retaining the
+    /// topology/claim/bridge buffer capacities — the structural repair path
+    /// allocates nothing at steady state. index_ is the live directory,
+    /// sorted by color; colors are allocated monotonically and never reused,
+    /// so registration is always a push_back.
+    std::vector<std::unique_ptr<Cloud>> pool_;
+    std::vector<std::uint32_t> free_slots_;
+    std::vector<std::pair<graph::ColorId, std::uint32_t>> index_;
     /// memberships_[v] = sorted colors of the clouds containing v. Indexed
     /// directly by node id (ids are dense and never reused); inner vectors
     /// keep their capacity across churn, so re-registering never allocates.
+    /// Rows of graph-deleted nodes are retired into membership_pool_ and
+    /// re-issued to fresh ids (capped), so a churning population's first
+    /// cloud registrations don't allocate either.
+    static constexpr std::size_t membership_pool_cap = 256;
     std::vector<std::vector<graph::ColorId>> memberships_;
+    std::vector<std::vector<graph::ColorId>> membership_pool_;
     // Repair-path scratch, reused across every mutation (zero steady-state
     // allocations; see DESIGN.md decision 6).
     expander::TopoDelta delta_;

@@ -56,6 +56,23 @@ public:
     /// add or remove edges to repair. Returns repair accounting.
     virtual RepairReport on_delete(graph::Graph& g, graph::NodeId v) = 0;
 
+    /// Batched deletion (the scenario grammar's `batch=k` phases): delete v
+    /// and perform the local part of the repair now, but allow the global
+    /// reconnection work to be deferred until flush_staged(). Healers with
+    /// no batch support fall back to full per-event repair, which keeps the
+    /// batched schedule correct (just unamortized).
+    virtual RepairReport on_delete_staged(graph::Graph& g, graph::NodeId v) {
+        return on_delete(g, v);
+    }
+
+    /// Complete any repair work deferred by on_delete_staged. Called at
+    /// batch boundaries; must leave the graph exactly as healed as the
+    /// unbatched path would. Default: nothing was deferred.
+    virtual RepairReport flush_staged(graph::Graph& g) {
+        (void)g;
+        return {};
+    }
+
     /// Optional deep self-check (registry/claims consistency). Throws on
     /// violation. Default: no internal state to check.
     virtual void check_consistency(const graph::Graph& g) const { (void)g; }

@@ -55,6 +55,28 @@ RepairReport HealingSession::delete_node(NodeId v) {
     return report;
 }
 
+RepairReport HealingSession::stage_delete(NodeId v) {
+    XHEAL_EXPECTS(g_.has_node(v));
+    deleted_black_degree_.add(static_cast<double>(ref_.degree(v)));
+    RepairReport report = healer_->on_delete_staged(g_, v);
+    XHEAL_ENSURES(!g_.has_node(v));
+    std::size_t pos = pool_pos_[v];
+    NodeId last = alive_.back();
+    alive_[pos] = last;
+    pool_pos_[last] = pos;
+    alive_.pop_back();
+    pool_pos_[v] = npos;
+    totals_.accumulate(report);
+    ++deletions_;
+    return report;
+}
+
+RepairReport HealingSession::flush_staged() {
+    RepairReport report = healer_->flush_staged(g_);
+    totals_.accumulate(report);
+    return report;
+}
+
 double HealingSession::amortized_messages() const {
     if (deletions_ == 0) return 0.0;
     return static_cast<double>(totals_.messages) / static_cast<double>(deletions_);

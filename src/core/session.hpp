@@ -36,6 +36,23 @@ public:
     /// repair accounting.
     RepairReport delete_node(graph::NodeId v);
 
+    /// Batched variant: delete v but let the healer defer its global
+    /// reconnection work until flush_staged() (Healer::on_delete_staged).
+    /// Every staged run must be terminated by a flush before the graph is
+    /// observed.
+    RepairReport stage_delete(graph::NodeId v);
+
+    /// Complete the repair work deferred by stage_delete. Safe to call with
+    /// nothing staged (no-op report).
+    RepairReport flush_staged();
+
+    /// Turn on the structure journals of both graphs (current + reference)
+    /// with the given overflow limit, for incremental probe snapshots.
+    void enable_graph_journals(std::size_t limit) {
+        g_.set_journal_limit(limit);
+        ref_.set_journal_limit(limit);
+    }
+
     std::size_t deletions() const { return deletions_; }
     std::size_t insertions() const { return insertions_; }
     const RepairReport& totals() const { return totals_; }

@@ -19,19 +19,43 @@ XhealHealer::XhealHealer(XhealConfig config)
 void XhealHealer::check_consistency(const Graph& g) const { registry_.verify(g); }
 
 RepairReport XhealHealer::on_delete(Graph& g, NodeId v) {
-    XHEAL_EXPECTS(g.has_node(v));
     RepairReport report;
-    events_.clear();
+    recycle_events();
+    repair(g, v, report, nullptr);
+    return report;
+}
+
+RepairReport XhealHealer::on_delete_staged(Graph& g, NodeId v) {
+    RepairReport report;
+    recycle_events();
+    repair(g, v, report, &pending_units_);
+    return report;
+}
+
+RepairReport XhealHealer::flush_staged(Graph& g) {
+    RepairReport report;
+    recycle_events();
+    if (pending_units_.empty()) return report;
+    // Units parked earlier in the batch may reference nodes a later victim
+    // took down (the victim itself, or a dissolved 2-cloud's survivor).
+    std::erase_if(pending_units_, [&](const Unit& u) {
+        return !u.is_cloud() && !g.has_node(u.singleton);
+    });
+    dedupe_units_inplace(pending_units_);
+    connect_units(g, pending_units_, graph::invalid_color, report);
+    pending_units_.clear();
+    return report;
+}
+
+void XhealHealer::repair(Graph& g, NodeId v, RepairReport& report,
+                         std::vector<Unit>* defer) {
+    XHEAL_EXPECTS(g.has_node(v));
 
     // ---- snapshot v's situation before anything is torn down ----
     registry_.primary_clouds_of(v, prim_);
     std::optional<ColorId> sec = registry_.secondary_cloud_of(v);
     ColorId assoc_of_v = graph::invalid_color;
-    if (sec.has_value()) {
-        const Cloud* f = registry_.find(*sec);
-        auto it = f->bridge_assoc.find(v);
-        if (it != f->bridge_assoc.end()) assoc_of_v = it->second;
-    }
+    if (sec.has_value()) assoc_of_v = registry_.find(*sec)->bridge_assoc_of(v);
     black_nbrs_.clear();
     for (const auto& [u, claims] : g.row(v)) {
         if (!claims.colored()) black_nbrs_.push_back(u);
@@ -46,10 +70,11 @@ RepairReport XhealHealer::on_delete(Graph& g, NodeId v) {
             ColorId c = registry_.create_cloud(g, CloudKind::primary, black_nbrs_, rng_,
                                                &report.edges_added);
             ++report.clouds_touched;
-            events_.push_back(HealEvent{HealEvent::Kind::create_primary, c, black_nbrs_,
-                                        black_nbrs_.size(), false, false});
+            HealEvent& ev = push_event(HealEvent::Kind::create_primary, c);
+            ev.members.assign(black_nbrs_.begin(), black_nbrs_.end());
+            ev.cloud_size = black_nbrs_.size();
         }
-        return report;
+        return;
     }
 
     // ---- FixPrimary: every affected primary cloud repairs its expander ----
@@ -68,16 +93,16 @@ RepairReport XhealHealer::on_delete(Graph& g, NodeId v) {
     }
 
     // ---- Case 2.2: repair the secondary cloud's bridge structure ----
-    SecondaryFix fix;
+    secfix_.clear();
     if (sec.has_value() && f_alive) {
-        fix = fix_secondary(g, *sec, assoc_of_v, report);
+        fix_secondary(g, *sec, assoc_of_v, report, secfix_);
     }
 
     // ---- assemble the units the new secondary must connect ----
     units_.clear();
     for (ColorId c : prim_) {
-        if (!registry_.exists(c)) continue;        // dissolved or combined away
-        if (fix.connected.contains(c)) continue;   // still connected through F
+        if (!registry_.exists(c)) continue;  // dissolved or combined away
+        if (util::sorted_contains(secfix_.connected, c)) continue;  // through F
         units_.push_back(Unit::of_cloud(c));
     }
     for (NodeId s : survivors_) {
@@ -91,105 +116,101 @@ RepairReport XhealHealer::on_delete(Graph& g, NodeId v) {
     }
 
     dedupe_units_inplace(units_);
-    if (units_.empty()) return report;
+    if (units_.empty()) return;
 
-    if (fix.representative.has_value()) {
-        units_.push_back(*fix.representative);
+    if (secfix_.representative.has_value()) {
+        units_.push_back(*secfix_.representative);
         dedupe_units_inplace(units_);
+        if (defer != nullptr) {
+            defer->insert(defer->end(), units_.begin(), units_.end());
+            return;
+        }
         connect_units(g, units_, graph::invalid_color, report);
-    } else if (fix.insert_into != graph::invalid_color &&
-               registry_.exists(fix.insert_into)) {
-        connect_units(g, units_, fix.insert_into, report);
+    } else if (secfix_.insert_into != graph::invalid_color &&
+               registry_.exists(secfix_.insert_into)) {
+        // Growing an existing secondary is a local splice — do it now even
+        // in batched mode (only fresh-secondary construction is deferred).
+        connect_units(g, units_, secfix_.insert_into, report);
     } else {
+        if (defer != nullptr) {
+            defer->insert(defer->end(), units_.begin(), units_.end());
+            return;
+        }
         connect_units(g, units_, graph::invalid_color, report);
     }
-    return report;
 }
 
-XhealHealer::SecondaryFix XhealHealer::fix_secondary(Graph& g, ColorId f_color,
-                                                     ColorId assoc_of_v,
-                                                     RepairReport& report) {
-    SecondaryFix fix;
+void XhealHealer::fix_secondary(Graph& g, ColorId f_color, ColorId assoc_of_v,
+                                RepairReport& report, SecondaryFix& fix) {
     Cloud* f = registry_.find(f_color);
     XHEAL_ASSERT(f != nullptr);
 
-    // Live primary clouds currently bridged by F.
-    auto live_assocs = [&]() {
-        std::vector<ColorId> out;
-        for (const auto& [bridge, assoc] : f->bridge_assoc) {
-            (void)bridge;
-            if (assoc != graph::invalid_color && registry_.exists(assoc)) out.push_back(assoc);
-        }
-        std::sort(out.begin(), out.end());
-        out.erase(std::unique(out.begin(), out.end()), out.end());
-        return out;
-    };
-
     if (assoc_of_v != graph::invalid_color && registry_.exists(assoc_of_v)) {
         // v bridged for primary cloud Ci: find a replacement free node z.
-        std::vector<ColorId> donors = live_assocs();
-        donors.erase(std::remove(donors.begin(), donors.end(), assoc_of_v), donors.end());
-        NodeId z = pick_free_node(g, assoc_of_v, donors, report);
+        live_assocs_of(*f, donors_);
+        donors_.erase(std::remove(donors_.begin(), donors_.end(), assoc_of_v),
+                      donors_.end());
+        NodeId z = pick_free_node(g, assoc_of_v, donors_, report);
         if (z != graph::invalid_node) {
             insert_member_logged(g, f_color, z, report);
-            registry_.find(f_color)->bridge_assoc[z] = assoc_of_v;
+            registry_.find(f_color)->set_bridge_assoc(z, assoc_of_v);
         } else {
             // No free node anywhere among F's primary clouds: combine them
             // all into one primary cloud; F's edges are deleted and its
             // bridges become free again (paper Case 2.2 / Case 2.1 rule).
-            std::vector<Unit> to_combine;
-            for (ColorId c : live_assocs()) to_combine.push_back(Unit::of_cloud(c));
+            fix_to_combine_.clear();
+            live_assocs_of(*f, assocs_);
+            for (ColorId c : assocs_) fix_to_combine_.push_back(Unit::of_cloud(c));
             for (const auto& [bridge, assoc] : f->bridge_assoc) {
                 if (assoc == graph::invalid_color || !registry_.exists(assoc)) {
-                    to_combine.push_back(Unit::of_node(bridge));
+                    fix_to_combine_.push_back(Unit::of_node(bridge));
                 }
             }
             registry_.destroy_cloud(g, f_color, &report.edges_removed);
             ++report.clouds_touched;
-            dedupe_units_inplace(to_combine);
-            ColorId combined = combine_units(g, to_combine, report);
+            dedupe_units_inplace(fix_to_combine_);
+            ColorId combined = combine_units(g, fix_to_combine_, report);
             fix.representative = Unit::of_cloud(combined);
-            return fix;  // F is gone; `connected` stays empty
+            return;  // F is gone; `connected` stays empty
         }
     }
     // F survives (possibly just shrunk if v had no live association).
     Cloud* f_now = registry_.find(f_color);
     XHEAL_ASSERT(f_now != nullptr);
-    for (ColorId c : live_assocs()) fix.connected.insert(c);
+    live_assocs_of(*f_now, assocs_);
+    fix.connected.assign(assocs_.begin(), assocs_.end());
 
     // Choose a representative unit on F's side for reconnecting leftover
     // clouds: prefer v's own primary, else any live primary of F.
     ColorId rep = graph::invalid_color;
     if (assoc_of_v != graph::invalid_color && registry_.exists(assoc_of_v)) {
         rep = assoc_of_v;
-    } else {
-        auto assocs = live_assocs();
-        if (!assocs.empty()) rep = assocs.front();
+    } else if (!assocs_.empty()) {
+        rep = assocs_.front();
     }
     if (rep != graph::invalid_color) {
         fix.representative = Unit::of_cloud(rep);
     } else {
         fix.insert_into = f_color;  // fall back to growing F directly
     }
-    return fix;
 }
 
 NodeId XhealHealer::pick_free_node(Graph& g, ColorId ci,
                                    const std::vector<ColorId>& donor_clouds,
                                    RepairReport& report) {
-    auto own = registry_.free_members_of(ci);
-    if (!own.empty()) return rng_.pick(own);
+    registry_.free_members_of(ci, free_scratch_);
+    if (!free_scratch_.empty()) return rng_.pick(free_scratch_);
     // Sharing: borrow a free node from a donor cloud and physically add it
     // to ci so it can serve as ci's bridge (paper Section 3).
     for (ColorId donor : donor_clouds) {
         if (!registry_.exists(donor)) continue;
-        auto candidates = registry_.free_members_of(donor);
+        registry_.free_members_of(donor, free_scratch_);
         // The borrowed node must not already sit inside ci.
-        std::erase_if(candidates, [&](NodeId w) {
+        std::erase_if(free_scratch_, [&](NodeId w) {
             return registry_.find(ci)->has_member(w);
         });
-        if (candidates.empty()) continue;
-        NodeId w = rng_.pick(candidates);
+        if (free_scratch_.empty()) continue;
+        NodeId w = rng_.pick(free_scratch_);
         insert_member_logged(g, ci, w, report);
         return w;
     }
@@ -228,33 +249,37 @@ void XhealHealer::connect_units(Graph& g, const std::vector<Unit>& units,
     if (units.empty()) return;
     if (units.size() == 1 && into_secondary == graph::invalid_color) return;
 
-    // Candidate free nodes per unit.
-    std::vector<std::vector<NodeId>> candidates(units.size());
-    std::set<NodeId> all_free;
+    // Candidate free nodes per unit. (Flat sorted vectors below stand in for
+    // the std::sets of the original implementation; iteration order — hence
+    // the rng draw sequence — is identical.)
+    if (cu_candidates_.size() < units.size()) cu_candidates_.resize(units.size());
+    all_free_.clear();
     for (std::size_t i = 0; i < units.size(); ++i) {
+        std::vector<NodeId>& cand = cu_candidates_[i];
         if (units[i].is_cloud()) {
-            candidates[i] = registry_.free_members_of(units[i].cloud);
-        } else if (registry_.is_free(units[i].singleton)) {
-            candidates[i] = {units[i].singleton};
+            registry_.free_members_of(units[i].cloud, cand);
+        } else {
+            cand.clear();
+            if (registry_.is_free(units[i].singleton)) cand.push_back(units[i].singleton);
         }
-        for (NodeId w : candidates[i]) all_free.insert(w);
+        for (NodeId w : cand) util::sorted_insert(all_free_, w);
     }
 
     // The paper's combine rule: fewer distinct free nodes than units means
     // a secondary cloud cannot be built — merge everything into one
     // primary cloud instead.
-    if (all_free.size() < units.size()) {
+    if (all_free_.size() < units.size()) {
         ColorId combined = combine_units(g, units, report);
         if (combined != graph::invalid_color && into_secondary != graph::invalid_color &&
             registry_.exists(into_secondary)) {
             // We were asked to hang the units off an existing secondary;
             // attach the combined cloud if it still has a free node.
             // (Connectivity fallback; see DESIGN.md decision 3.)
-            auto free_nodes = registry_.free_members_of(combined);
-            if (!free_nodes.empty()) {
-                NodeId w = rng_.pick(free_nodes);
+            registry_.free_members_of(combined, free_scratch_);
+            if (!free_scratch_.empty()) {
+                NodeId w = rng_.pick(free_scratch_);
                 insert_member_logged(g, into_secondary, w, report);
-                registry_.find(into_secondary)->bridge_assoc[w] = combined;
+                registry_.find(into_secondary)->set_bridge_assoc(w, combined);
             }
         }
         return;
@@ -262,50 +287,45 @@ void XhealHealer::connect_units(Graph& g, const std::vector<Unit>& units,
 
     // Assign one distinct free node per unit: greedy by scarcity, sharing
     // spares into deficient units. Count guarantees success.
-    std::vector<std::size_t> order(units.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        if (candidates[a].size() != candidates[b].size())
-            return candidates[a].size() < candidates[b].size();
+    order_.resize(units.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+        if (cu_candidates_[a].size() != cu_candidates_[b].size())
+            return cu_candidates_[a].size() < cu_candidates_[b].size();
         return a < b;
     });
 
-    std::set<NodeId> taken;
-    std::vector<NodeId> assigned(units.size(), graph::invalid_node);
-    std::vector<std::size_t> deficient;
-    for (std::size_t i : order) {
-        std::vector<NodeId> open;
-        for (NodeId w : candidates[i]) {
-            if (!taken.contains(w)) open.push_back(w);
+    taken_.clear();
+    assigned_.assign(units.size(), graph::invalid_node);
+    deficient_.clear();
+    for (std::size_t i : order_) {
+        open_.clear();
+        for (NodeId w : cu_candidates_[i]) {
+            if (!util::sorted_contains(taken_, w)) open_.push_back(w);
         }
-        if (open.empty()) {
-            deficient.push_back(i);
+        if (open_.empty()) {
+            deficient_.push_back(i);
             continue;
         }
-        NodeId w = rng_.pick(open);
-        assigned[i] = w;
-        taken.insert(w);
+        NodeId w = rng_.pick(open_);
+        assigned_[i] = w;
+        util::sorted_insert(taken_, w);
     }
-    for (std::size_t i : deficient) {
-        std::vector<NodeId> spares;
-        for (NodeId w : all_free) {
-            if (!taken.contains(w)) spares.push_back(w);
+    for (std::size_t i : deficient_) {
+        spares_.clear();
+        for (NodeId w : all_free_) {
+            if (!util::sorted_contains(taken_, w)) spares_.push_back(w);
         }
-        XHEAL_ASSERT(!spares.empty());  // |all_free| >= units guarantees this
-        NodeId w = rng_.pick(spares);
-        assigned[i] = w;
-        taken.insert(w);
+        XHEAL_ASSERT(!spares_.empty());  // |all_free| >= units guarantees this
+        NodeId w = rng_.pick(spares_);
+        assigned_[i] = w;
+        util::sorted_insert(taken_, w);
     }
 
     // Materialize bridges: shared nodes physically join the deficient unit.
-    struct Bridge {
-        NodeId node;
-        ColorId assoc;
-    };
-    std::vector<Bridge> bridges;
-    bridges.reserve(units.size());
+    bridges_.clear();
     for (std::size_t i = 0; i < units.size(); ++i) {
-        NodeId w = assigned[i];
+        NodeId w = assigned_[i];
         XHEAL_ASSERT(w != graph::invalid_node);
         if (units[i].is_cloud()) {
             Cloud* cloud = registry_.find(units[i].cloud);
@@ -313,76 +333,83 @@ void XhealHealer::connect_units(Graph& g, const std::vector<Unit>& units,
             if (!cloud->has_member(w)) {
                 insert_member_logged(g, units[i].cloud, w, report);
             }
-            bridges.push_back({w, units[i].cloud});
+            bridges_.push_back({w, units[i].cloud});
         } else if (w == units[i].singleton) {
-            bridges.push_back({w, graph::invalid_color});
+            bridges_.push_back({w, graph::invalid_color});
         } else {
             // Share into a singleton: wrap it in a fresh 2-node primary
             // cloud with the borrowed free node as its bridge.
-            std::vector<NodeId> pair_members{units[i].singleton, w};
-            ColorId p = registry_.create_cloud(g, CloudKind::primary, pair_members, rng_,
+            pair_members_.clear();
+            pair_members_.push_back(units[i].singleton);
+            pair_members_.push_back(w);
+            ColorId p = registry_.create_cloud(g, CloudKind::primary, pair_members_, rng_,
                                                &report.edges_added);
             ++report.clouds_touched;
-            events_.push_back(HealEvent{HealEvent::Kind::create_primary, p, pair_members,
-                                        pair_members.size(), false, false});
-            bridges.push_back({w, p});
+            HealEvent& ev = push_event(HealEvent::Kind::create_primary, p);
+            ev.members.assign(pair_members_.begin(), pair_members_.end());
+            ev.cloud_size = pair_members_.size();
+            bridges_.push_back({w, p});
         }
     }
 
     if (into_secondary != graph::invalid_color && registry_.exists(into_secondary)) {
-        for (const Bridge& b : bridges) {
-            insert_member_logged(g, into_secondary, b.node, report);
-            registry_.find(into_secondary)->bridge_assoc[b.node] = b.assoc;
+        for (const auto& [node, assoc] : bridges_) {
+            insert_member_logged(g, into_secondary, node, report);
+            registry_.find(into_secondary)->set_bridge_assoc(node, assoc);
         }
         return;
     }
 
-    if (bridges.size() < 2) return;  // single unit: nothing to connect
-    std::vector<NodeId> bridge_nodes;
-    bridge_nodes.reserve(bridges.size());
-    for (const Bridge& b : bridges) bridge_nodes.push_back(b.node);
-    ColorId f = registry_.create_cloud(g, CloudKind::secondary, bridge_nodes, rng_,
-                                       &report.edges_added);
-    Cloud* cloud = registry_.find(f);
-    for (const Bridge& b : bridges) cloud->bridge_assoc[b.node] = b.assoc;
+    if (bridges_.size() < 2) return;  // single unit: nothing to connect
+    bridge_nodes_.clear();
+    for (const auto& [node, assoc] : bridges_) bridge_nodes_.push_back(node);
+    ColorId fcol = registry_.create_cloud(g, CloudKind::secondary, bridge_nodes_, rng_,
+                                          &report.edges_added);
+    Cloud* cloud = registry_.find(fcol);
+    for (const auto& [node, assoc] : bridges_) cloud->set_bridge_assoc(node, assoc);
     ++report.clouds_touched;
-    events_.push_back(HealEvent{HealEvent::Kind::create_secondary, f, bridge_nodes,
-                                bridge_nodes.size(), false, false});
+    HealEvent& ev = push_event(HealEvent::Kind::create_secondary, fcol);
+    ev.members.assign(bridge_nodes_.begin(), bridge_nodes_.end());
+    ev.cloud_size = bridge_nodes_.size();
 }
 
 ColorId XhealHealer::combine_units(Graph& g, const std::vector<Unit>& units,
                                    RepairReport& report) {
-    std::set<NodeId> members;
-    std::set<ColorId> destroyed;
+    comb_members_.clear();
+    comb_destroyed_.clear();
     for (const Unit& u : units) {
         if (u.is_cloud()) {
             const Cloud* cloud = registry_.find(u.cloud);
             if (cloud == nullptr) continue;
-            for (NodeId m : cloud->members_sorted()) members.insert(m);
+            for (NodeId m : cloud->topology.members()) {
+                util::sorted_insert(comb_members_, m);
+            }
         } else {
-            members.insert(u.singleton);
+            util::sorted_insert(comb_members_, u.singleton);
         }
     }
     for (const Unit& u : units) {
         if (u.is_cloud() && registry_.exists(u.cloud)) {
-            destroyed.insert(u.cloud);
+            util::sorted_insert(comb_destroyed_, u.cloud);
             registry_.destroy_cloud(g, u.cloud, &report.edges_removed);
             ++report.clouds_touched;
         }
     }
-    std::vector<NodeId> member_list(members.begin(), members.end());
-    if (member_list.size() < 2) {
+    if (comb_members_.size() < 2) {
         // A lone non-free singleton: nothing to merge. It is already held
         // by its own secondary cloud; no new cloud is needed.
         return graph::invalid_color;
     }
-    ColorId combined = registry_.create_cloud(g, CloudKind::primary, member_list, rng_,
+    ColorId combined = registry_.create_cloud(g, CloudKind::primary, comb_members_, rng_,
                                               &report.edges_added);
     ++report.clouds_touched;
     ++report.combines;
-    report.combine_members += member_list.size();
-    events_.push_back(HealEvent{HealEvent::Kind::combine, combined, member_list,
-                                member_list.size(), false, false});
+    report.combine_members += comb_members_.size();
+    {
+        HealEvent& ev = push_event(HealEvent::Kind::combine, combined);
+        ev.members.assign(comb_members_.begin(), comb_members_.end());
+        ev.cloud_size = comb_members_.size();
+    }
 
     // The paper's free-node replenishment: non-free nodes of the combined
     // clouds "become free again". A combined member bridging a *foreign*
@@ -392,29 +419,28 @@ ColorId XhealHealer::combine_units(Graph& g, const std::vector<Unit>& units,
     // their roles. Without this, targeted bridge deletions starve the
     // system of free nodes and combines cascade (the Section 5(c)
     // amortization depends on it).
-    std::set<ColorId> foreign;
-    for (NodeId m : member_list) {
+    foreign_.clear();
+    for (NodeId m : comb_members_) {
         auto sec = registry_.secondary_cloud_of(m);
-        if (sec.has_value()) foreign.insert(*sec);
+        if (sec.has_value()) util::sorted_insert(foreign_, *sec);
     }
-    for (ColorId f_color : foreign) {
+    for (ColorId f_color : foreign_) {
         Cloud* f = registry_.find(f_color);
         if (f == nullptr) continue;
-        std::vector<NodeId> stale;
-        for (NodeId m : member_list) {
+        stale_.clear();
+        for (NodeId m : comb_members_) {
             if (!f->has_member(m)) continue;
-            auto it = f->bridge_assoc.find(m);
-            ColorId assoc = it == f->bridge_assoc.end() ? graph::invalid_color : it->second;
+            ColorId assoc = f->bridge_assoc_of(m);
             bool assoc_alive = assoc != graph::invalid_color && registry_.exists(assoc) &&
-                               !destroyed.contains(assoc);
-            if (!assoc_alive) stale.push_back(m);
+                               !util::sorted_contains(comb_destroyed_, assoc);
+            if (!assoc_alive) stale_.push_back(m);
         }
-        if (stale.empty()) continue;
+        if (stale_.empty()) continue;
         // Keep the first stale bridge as D's representative in f.
-        f->bridge_assoc[stale.front()] = combined;
-        for (std::size_t i = 1; i < stale.size(); ++i) {
+        f->set_bridge_assoc(stale_.front(), combined);
+        for (std::size_t i = 1; i < stale_.size(); ++i) {
             if (f->size() <= 2) break;  // keep f alive; its members stay bridges
-            registry_.remove_member(g, f_color, stale[i], rng_,
+            registry_.remove_member(g, f_color, stale_[i], rng_,
                                     /*deleted_from_graph=*/false, &report.edges_added,
                                     &report.edges_removed);
             ++report.clouds_touched;
@@ -433,22 +459,16 @@ NodeId XhealHealer::remove_member_logged(Graph& g, ColorId c, NodeId v,
                                               &report.edges_added, &report.edges_removed);
     ++report.clouds_touched;
     if (!registry_.exists(c)) {
-        HealEvent ev;
-        ev.kind = HealEvent::Kind::dissolve_cloud;
-        ev.color = c;
-        if (survivor != graph::invalid_node) ev.members = {survivor};
-        events_.push_back(std::move(ev));
+        HealEvent& ev = push_event(HealEvent::Kind::dissolve_cloud, c);
+        if (survivor != graph::invalid_node) ev.members.push_back(survivor);
         return survivor;
     }
-    Cloud* after = registry_.find(c);
-    HealEvent ev;
-    ev.kind = HealEvent::Kind::fix_cloud;
-    ev.color = c;
+    const Cloud* after = registry_.find(c);
+    HealEvent& ev = push_event(HealEvent::Kind::fix_cloud, c);
     ev.cloud_size = after->size();
     ev.leader_was_deleted = leader_deleted;
     ev.rebuilt = after->rebuild_count > rebuilds_before;
     if (ev.rebuilt) ++report.rebuilds;
-    events_.push_back(std::move(ev));
     return survivor;
 }
 
@@ -456,12 +476,43 @@ void XhealHealer::insert_member_logged(Graph& g, ColorId c, NodeId w,
                                        RepairReport& report) {
     registry_.insert_member(g, c, w, rng_, &report.edges_added, &report.edges_removed);
     ++report.clouds_touched;
-    HealEvent ev;
-    ev.kind = HealEvent::Kind::insert_member;
-    ev.color = c;
-    ev.members = {w};
+    HealEvent& ev = push_event(HealEvent::Kind::insert_member, c);
+    ev.members.push_back(w);
     ev.cloud_size = registry_.find(c)->size();
+}
+
+void XhealHealer::live_assocs_of(const Cloud& f, std::vector<ColorId>& out) const {
+    out.clear();
+    for (const auto& [bridge, assoc] : f.bridge_assoc) {
+        (void)bridge;
+        if (assoc != graph::invalid_color && registry_.exists(assoc)) out.push_back(assoc);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+HealEvent& XhealHealer::push_event(HealEvent::Kind kind, ColorId color) {
+    HealEvent ev;
+    ev.kind = kind;
+    ev.color = color;
+    ev.members = take_members();
     events_.push_back(std::move(ev));
+    return events_.back();
+}
+
+void XhealHealer::recycle_events() {
+    for (HealEvent& ev : events_) {
+        ev.members.clear();
+        member_pool_.push_back(std::move(ev.members));
+    }
+    events_.clear();
+}
+
+std::vector<NodeId> XhealHealer::take_members() {
+    if (member_pool_.empty()) return {};
+    std::vector<NodeId> out = std::move(member_pool_.back());
+    member_pool_.pop_back();
+    return out;
 }
 
 }  // namespace xheal::core

@@ -20,10 +20,15 @@
 //              the primaries F does not cover as in Case 2.1, including one
 //              representative unit from F's side so the two groups stay
 //              connected (DESIGN.md decision 3).
+//
+// Batched mode (scenario `batch=k` phases): on_delete_staged performs the
+// per-victim work — teardown, FixPrimary, secondary-bridge repair — but
+// parks the units that would form a new secondary on a pending list;
+// flush_staged dedupes the accumulated units and runs ONE connect_units for
+// the whole batch, amortizing the structural splices (DESIGN.md decision 9).
 #pragma once
 
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "core/cloud_registry.hpp"
@@ -70,13 +75,16 @@ public:
 
     std::string_view name() const override { return "xheal"; }
     RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
+    RepairReport on_delete_staged(graph::Graph& g, graph::NodeId v) override;
+    RepairReport flush_staged(graph::Graph& g) override;
     void check_consistency(const graph::Graph& g) const override;
 
     const CloudRegistry& registry() const { return registry_; }
     std::size_t kappa() const { return registry_.kappa(); }
     const XhealConfig& config() const { return config_; }
 
-    /// Structural operations of the most recent on_delete call, in order.
+    /// Structural operations of the most recent on_delete / on_delete_staged
+    /// / flush_staged call, in order.
     const std::vector<HealEvent>& last_events() const { return events_; }
 
 private:
@@ -93,20 +101,34 @@ private:
     };
 
     /// Outcome of repairing secondary cloud F after bridge v was removed.
+    /// Reused across repairs (the vector keeps its capacity).
     struct SecondaryFix {
         /// Primary colors still connected through F (excluded from the new
-        /// secondary built for the leftover clouds).
-        std::set<graph::ColorId> connected;
+        /// secondary built for the leftover clouds). Sorted ascending.
+        std::vector<graph::ColorId> connected;
         /// A unit on F's side to include in the new secondary so both
         /// groups stay connected; nullopt if F's side offers no free node.
         std::optional<Unit> representative;
         /// If no representative exists but F is alive, new bridges are
         /// INSERTed into F itself instead of forming a new secondary.
         graph::ColorId insert_into = graph::invalid_color;
+
+        void clear() {
+            connected.clear();
+            representative.reset();
+            insert_into = graph::invalid_color;
+        }
     };
 
-    SecondaryFix fix_secondary(graph::Graph& g, graph::ColorId f_color,
-                               graph::ColorId assoc_of_v, RepairReport& report);
+    /// The full per-victim repair. With defer == nullptr this is the
+    /// unbatched Xheal step (connect_units runs inline); otherwise the units
+    /// a new secondary would connect are appended to *defer instead.
+    void repair(graph::Graph& g, graph::NodeId v, RepairReport& report,
+                std::vector<Unit>* defer);
+
+    void fix_secondary(graph::Graph& g, graph::ColorId f_color,
+                       graph::ColorId assoc_of_v, RepairReport& report,
+                       SecondaryFix& fix);
 
     /// Pick a free node to serve as cloud Ci's bridge: a free member of Ci,
     /// else a free node shared from one of `donor_clouds` (physically added
@@ -137,14 +159,35 @@ private:
     void insert_member_logged(graph::Graph& g, graph::ColorId c, graph::NodeId w,
                               RepairReport& report);
 
+    /// Live primary colors bridged by f, sorted + deduped into `out`.
+    void live_assocs_of(const Cloud& f, std::vector<graph::ColorId>& out) const;
+
+    /// Append a new event, its members vector drawn from the recycling pool
+    /// (push_event) — the caller fills members/size/flags via the returned
+    /// reference before the next push.
+    HealEvent& push_event(HealEvent::Kind kind, graph::ColorId color);
+
+    /// Return every event's members vector to the pool and clear the list;
+    /// called at the start of each repair entry point so steady-state event
+    /// logging performs no allocation.
+    void recycle_events();
+
+    std::vector<graph::NodeId> take_members();
+
     XhealConfig config_;
     CloudRegistry registry_;
     util::Rng rng_;
     std::vector<HealEvent> events_;
+    std::vector<std::vector<graph::NodeId>> member_pool_;
+
+    // Batched-mode state: units parked by on_delete_staged until the flush.
+    std::vector<Unit> pending_units_;
 
     // Repair-path scratch, reused across on_delete calls so the common
     // steady-state repair (fix one cloud, nothing structural) performs no
-    // heap allocation (DESIGN.md decision 6).
+    // heap allocation (DESIGN.md decision 6). The connect_units/combine
+    // scratch below extends that guarantee to the structural path
+    // (decision 9) — pinned by connect_units_soak_test at 0 allocations.
     std::vector<graph::ColorId> prim_;        ///< v's primary clouds
     std::vector<graph::NodeId> black_nbrs_;   ///< v's purely-black neighbors
     std::vector<graph::NodeId> survivors_;    ///< remnants of dissolved 2-clouds
@@ -152,6 +195,29 @@ private:
     std::vector<Unit> units_tmp_;             ///< dedupe staging
     std::vector<graph::ColorId> seen_clouds_; ///< dedupe: cloud units listed
     std::vector<graph::NodeId> seen_nodes_;   ///< dedupe: singleton units listed
+    SecondaryFix secfix_;                     ///< Case 2.2 outcome
+    std::vector<graph::ColorId> assocs_;      ///< live_assocs scratch
+    std::vector<graph::ColorId> donors_;      ///< pick_free_node donor list
+    std::vector<Unit> fix_to_combine_;        ///< Case 2.2 combine fallback
+    std::vector<graph::NodeId> free_scratch_; ///< free_members_of staging
+    // connect_units scratch (sorted flat vectors mirror the former std::set
+    // iteration order, keeping the rng draw sequence bit-identical):
+    std::vector<std::vector<graph::NodeId>> cu_candidates_;  ///< per-unit free nodes
+    std::vector<graph::NodeId> all_free_;     ///< distinct free nodes, ascending
+    std::vector<std::size_t> order_;          ///< units by candidate scarcity
+    std::vector<graph::NodeId> taken_;        ///< assigned free nodes, ascending
+    std::vector<graph::NodeId> assigned_;     ///< unit index -> free node
+    std::vector<std::size_t> deficient_;      ///< units with no open candidate
+    std::vector<graph::NodeId> open_;         ///< unassigned candidates of a unit
+    std::vector<graph::NodeId> spares_;       ///< unassigned free nodes overall
+    std::vector<std::pair<graph::NodeId, graph::ColorId>> bridges_;  ///< node, assoc
+    std::vector<graph::NodeId> bridge_nodes_; ///< bridge ids for create_cloud
+    std::vector<graph::NodeId> pair_members_; ///< share-into-singleton pair
+    // combine_units scratch:
+    std::vector<graph::NodeId> comb_members_;   ///< merged membership, ascending
+    std::vector<graph::ColorId> comb_destroyed_;///< clouds merged away, ascending
+    std::vector<graph::ColorId> foreign_;       ///< secondaries touching members
+    std::vector<graph::NodeId> stale_;          ///< bridges freed by the merge
 };
 
 }  // namespace xheal::core

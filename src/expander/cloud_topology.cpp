@@ -17,19 +17,32 @@ CloudTopology::CloudTopology(std::vector<NodeId> members, std::size_t d, util::R
     construct(rng);
 }
 
+void CloudTopology::reset(const std::vector<NodeId>& members, std::size_t d,
+                          util::Rng& rng) {
+    XHEAL_EXPECTS(d >= 1);
+    XHEAL_EXPECTS(!members.empty());
+    d_ = d;
+    members_.assign(members.begin(), members.end());
+    std::sort(members_.begin(), members_.end());
+    XHEAL_EXPECTS(std::adjacent_find(members_.begin(), members_.end()) == members_.end());
+    construct(rng);
+}
+
 void CloudTopology::construct(util::Rng& rng) {
     size_at_construction_ = members_.size();
     if (members_.size() <= kappa() + 1 || members_.size() < 3) {
-        hgraph_.reset();  // clique mode
+        hgraph_active_ = false;  // clique mode; keep the H-graph's buffers
     } else {
-        hgraph_.emplace(members_, d_, rng);
+        if (hgraph_.has_value()) hgraph_->assign(members_, d_, rng);
+        else hgraph_.emplace(members_, d_, rng);
+        hgraph_active_ = true;
     }
 }
 
 void CloudTopology::insert(NodeId u, util::Rng& rng, TopoDelta* delta) {
     XHEAL_EXPECTS(!contains(u));
     members_.insert(std::lower_bound(members_.begin(), members_.end(), u), u);
-    if (hgraph_.has_value()) {
+    if (hgraph_active_) {
         hgraph_->insert(u, rng, delta != nullptr ? &delta->splice : nullptr);
     } else if (members_.size() > kappa() + 1) {
         construct(rng);  // clique grew past the threshold: become an H-graph
@@ -48,7 +61,7 @@ void CloudTopology::remove(NodeId u, util::Rng& rng, TopoDelta* delta) {
     XHEAL_EXPECTS(contains(u));
     XHEAL_EXPECTS(members_.size() >= 2);
     members_.erase(std::lower_bound(members_.begin(), members_.end(), u));
-    if (!hgraph_.has_value()) {
+    if (!hgraph_active_) {
         // Clique: only u's own edges disappear.
         if (delta != nullptr) {
             for (NodeId m : members_)
@@ -71,7 +84,7 @@ bool CloudTopology::needs_rebuild() const {
 void CloudTopology::rebuild(util::Rng& rng) {
     size_at_construction_ = members_.size();
     bool wants_hgraph = members_.size() > kappa() + 1 && members_.size() >= 3;
-    if (wants_hgraph && hgraph_.has_value()) {
+    if (wants_hgraph && hgraph_active_) {
         hgraph_->rebuild(rng);  // in place, allocation-free
     } else {
         construct(rng);
@@ -85,7 +98,7 @@ std::vector<std::pair<NodeId, NodeId>> CloudTopology::edges() const {
 }
 
 void CloudTopology::collect_edges(std::vector<std::pair<NodeId, NodeId>>& out) const {
-    if (hgraph_.has_value()) {
+    if (hgraph_active_) {
         hgraph_->collect_edges(out);
         return;
     }

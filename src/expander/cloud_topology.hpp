@@ -48,7 +48,13 @@ public:
     /// d >= 1 (kappa = 2d).
     CloudTopology(std::vector<graph::NodeId> members, std::size_t d, util::Rng& rng);
 
-    Mode mode() const { return hgraph_.has_value() ? Mode::hgraph : Mode::clique; }
+    /// Re-initialize in place over a new member set, reusing the member
+    /// buffer and any retained H-graph storage (the pooled-cloud path).
+    /// Consumes exactly the rng draws the constructor would.
+    void reset(const std::vector<graph::NodeId>& members, std::size_t d,
+               util::Rng& rng);
+
+    Mode mode() const { return hgraph_active_ ? Mode::hgraph : Mode::clique; }
     std::size_t size() const { return members_.size(); }
     std::size_t kappa() const { return 2 * d_; }
     bool contains(graph::NodeId u) const {
@@ -77,7 +83,7 @@ public:
 
     /// True if the simple-graph projection contains edge (a, b).
     bool has_edge(graph::NodeId a, graph::NodeId b) const {
-        if (hgraph_.has_value()) return hgraph_->has_adjacency(a, b);
+        if (hgraph_active_) return hgraph_->has_adjacency(a, b);
         return a != b && contains(a) && contains(b);
     }
 
@@ -94,7 +100,11 @@ private:
 
     std::size_t d_;
     std::vector<graph::NodeId> members_;  // sorted ascending
-    std::optional<HGraph> hgraph_;        // engaged iff mode() == hgraph
+    /// Engaged once the cloud has ever been in H-graph mode; retained (for
+    /// its buffers) across downshifts to clique mode and pooled reuse, so
+    /// mode is tracked by hgraph_active_, not engagement.
+    std::optional<HGraph> hgraph_;
+    bool hgraph_active_ = false;  // true iff mode() == hgraph
     std::size_t size_at_construction_ = 0;
 };
 

@@ -16,17 +16,30 @@ std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
 
 }  // namespace
 
-HGraph::HGraph(std::vector<NodeId> members, std::size_t d, util::Rng& rng) : d_(d) {
+HGraph::HGraph(std::vector<NodeId> members, std::size_t d, util::Rng& rng) {
+    assign(members, d, rng);
+}
+
+void HGraph::assign(const std::vector<NodeId>& members, std::size_t d,
+                    util::Rng& rng) {
     XHEAL_EXPECTS(d >= 1);
     XHEAL_EXPECTS(!members.empty());
-    std::sort(members.begin(), members.end());
-    XHEAL_EXPECTS(std::adjacent_find(members.begin(), members.end()) == members.end());
+    d_ = d;
+    slot_ids_.assign(members.begin(), members.end());
+    std::sort(slot_ids_.begin(), slot_ids_.end());
+    XHEAL_EXPECTS(std::adjacent_find(slot_ids_.begin(), slot_ids_.end()) ==
+                  slot_ids_.end());
 
-    slot_ids_ = std::move(members);
+    free_slots_.clear();
+    index_.clear();
     index_.reserve(slot_ids_.size());
     for (std::uint32_t s = 0; s < slot_ids_.size(); ++s) index_.push_back({slot_ids_[s], s});
-    succ_.assign(d_, std::vector<std::uint32_t>(slot_ids_.size()));
-    pred_.assign(d_, std::vector<std::uint32_t>(slot_ids_.size()));
+    succ_.resize(d_);
+    pred_.resize(d_);
+    for (std::size_t c = 0; c < d_; ++c) {
+        succ_[c].assign(slot_ids_.size(), 0);
+        pred_[c].assign(slot_ids_.size(), 0);
+    }
     for (std::size_t c = 0; c < d_; ++c) shuffle_cycle(c, rng);
 }
 

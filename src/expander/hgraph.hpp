@@ -52,6 +52,12 @@ public:
     /// (degenerate cycles) so callers can shrink without special cases.
     HGraph(std::vector<graph::NodeId> members, std::size_t d, util::Rng& rng);
 
+    /// Re-initialize in place over a new member set, reusing every buffer:
+    /// the pooled-cloud reconstruction path. Consumes exactly the rng draws
+    /// the constructor would, so pooled and fresh clouds are bit-identical.
+    void assign(const std::vector<graph::NodeId>& members, std::size_t d,
+                util::Rng& rng);
+
     std::size_t size() const { return index_.size(); }
     std::size_t cycle_count() const { return succ_.size(); }
     /// Target degree of the projected graph: kappa = 2d.

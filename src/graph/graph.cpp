@@ -9,9 +9,11 @@ void Graph::reserve_slots(NodeId n) {
 NodeId Graph::add_node() {
     NodeId v = next_id_++;
     reserve_slots(next_id_);
+    adopt_pooled_row(slots_[v]);
     slots_[v].state = SlotState::alive;
     ++live_nodes_;
     degree_changed(SIZE_MAX, 0);
+    journal_touch(v);
     return v;
 }
 
@@ -24,14 +26,25 @@ void Graph::add_node_with_id(NodeId v) {
         next_id_ = v + 1;
         reserve_slots(next_id_);
     }
+    adopt_pooled_row(slots_[v]);
     slots_[v].state = SlotState::alive;
     ++live_nodes_;
     degree_changed(SIZE_MAX, 0);
+    journal_touch(v);
+}
+
+void Graph::adopt_pooled_row(Slot& slot) {
+    if (slot.row.capacity() == 0 && !row_pool_.empty()) {
+        slot.row = std::move(row_pool_.back());
+        row_pool_.pop_back();
+        slot.row.clear();
+    }
 }
 
 void Graph::remove_node(NodeId v) {
     XHEAL_EXPECTS(has_node(v));
     Slot& slot = slots_[v];
+    journal_touch(v);
     for (const NeighborEntry& e : slot.row) {
         std::vector<NeighborEntry>& other = slots_[e.first].row;
         auto pos = row_lower_bound(other, v);
@@ -39,11 +52,23 @@ void Graph::remove_node(NodeId v) {
         other.erase(pos);
         degree_changed(other.size() + 1, other.size());
         --edge_count_;
+        journal_touch(e.first);
     }
     degree_changed(slot.row.size(), SIZE_MAX);
     --live_nodes_;
     slot.state = SlotState::dead;
-    // The tombstone never hosts edges again; release the row's memory.
+    // The tombstone never hosts edges again. Its row storage is recycled
+    // into future add_node slots (capped, so delete-heavy runs don't retain
+    // unbounded dead-row memory): ids are never reused, so without this a
+    // churning population would pay a first-growth allocation per new node
+    // and the repair path could never reach allocation-free steady state.
+    slot.row.clear();
+    if (slot.row.capacity() != 0 && row_pool_.size() < row_pool_cap) {
+        // One-time full reserve: the pool's own growth must not allocate
+        // mid-run either (the steady-state soaks pin repair at zero).
+        if (row_pool_.capacity() == 0) row_pool_.reserve(row_pool_cap);
+        row_pool_.push_back(std::move(slot.row));
+    }
     std::vector<NeighborEntry>().swap(slot.row);
 }
 
@@ -104,6 +129,8 @@ std::pair<EdgeClaims*, EdgeClaims*> Graph::ensure_edge(NodeId u, NodeId v) {
         pv = rv.emplace(pv, u, EdgeClaims{});
         degree_changed(rv.size() - 1, rv.size());
         ++edge_count_;
+        journal_touch(u);
+        journal_touch(v);
         return {&pu->second, &pv->second};
     }
     std::vector<NeighborEntry>& rv = slots_[v].row;
@@ -138,6 +165,8 @@ void Graph::erase_edge(NodeId u, NodeId v) {
     rv.erase(pv);
     degree_changed(rv.size() + 1, rv.size());
     --edge_count_;
+    journal_touch(u);
+    journal_touch(v);
 }
 
 bool Graph::remove_color_claim(NodeId u, NodeId v, ColorId color) {

@@ -382,9 +382,49 @@ public:
     /// Next id that add_node() would return (ids below are used or retired).
     NodeId next_id() const { return next_id_; }
 
+    // ----- structure journal -----
+    //
+    // Opt-in journal of structure-touched node ids for incremental snapshot
+    // consumers (the spectral CSR patch path). While enabled (limit > 0),
+    // every mutation that changes a node's adjacency row or liveness appends
+    // the touched ids; past `limit` entries the journal stops recording and
+    // raises the overflow flag, telling consumers to fall back to a full
+    // rebuild. Duplicate and since-deleted ids may appear — consumers
+    // dedupe. The journal is bookkeeping about the graph, not graph state,
+    // so draining it is a const operation.
+
+    /// Enable (limit > 0) or disable (0) the journal; clears it either way.
+    void set_journal_limit(std::size_t limit) {
+        journal_limit_ = limit;
+        clear_journal();
+    }
+
+    /// Touched node ids since the last clear, in mutation order.
+    const std::vector<NodeId>& journal() const { return journal_; }
+
+    /// True once a mutation was dropped because the journal hit its limit.
+    bool journal_overflowed() const { return journal_overflow_; }
+
+    void clear_journal() const {
+        journal_.clear();
+        journal_overflow_ = false;
+    }
+
 private:
+    void journal_touch(NodeId v) {
+        if (journal_limit_ == 0) return;
+        if (journal_.size() >= journal_limit_) {
+            journal_overflow_ = true;
+            return;
+        }
+        journal_.push_back(v);
+    }
+
     /// Grow the slot vector so ids [0, n) are addressable.
     void reserve_slots(NodeId n);
+
+    /// Hand a recycled dead-node row (capacity, no contents) to a fresh slot.
+    void adopt_pooled_row(Slot& slot);
 
     /// lower_bound position of v in a sorted row.
     static std::vector<NeighborEntry>::iterator row_lower_bound(
@@ -412,6 +452,14 @@ private:
     // moved it.
     void degree_changed(std::size_t old_degree, std::size_t new_degree);
 
+    /// Adjacency-row storage reclaimed from tombstoned slots and re-issued
+    /// by add_node (ids are never reused, so without recycling every fresh
+    /// node would pay first-growth allocations even in steady-state churn).
+    /// Capacity only — never contents. Capped: delete-heavy runs release
+    /// rows beyond the cap instead of hoarding them.
+    static constexpr std::size_t row_pool_cap = 1024;
+    std::vector<std::vector<NeighborEntry>> row_pool_;
+
     std::vector<Slot> slots_;
     std::vector<std::size_t> degree_hist_;  // degree_hist_[d] = live nodes of degree d
     std::size_t live_nodes_ = 0;
@@ -419,6 +467,9 @@ private:
     NodeId next_id_ = 0;
     mutable std::size_t max_hint_ = 0;
     mutable std::size_t min_hint_ = 0;
+    mutable std::vector<NodeId> journal_;
+    std::size_t journal_limit_ = 0;
+    mutable bool journal_overflow_ = false;
 };
 
 }  // namespace xheal::graph

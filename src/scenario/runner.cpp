@@ -45,17 +45,31 @@ Trace RunResult::to_trace(const ScenarioSpec& spec) const {
     return make_trace(spec, events, trace_hash, fingerprint);
 }
 
+namespace {
+
+/// Journal capacity for incremental probe snapshots: generous enough that
+/// inter-sample churn rarely overflows (overflow just costs one rebuild).
+std::size_t journal_limit_for(const core::HealingSession& session) {
+    return std::max<std::size_t>(4096, session.current().node_count() * 2);
+}
+
+}  // namespace
+
 ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec)
     : spec_(spec),
       rng_(spec.seed),
       probe_rng_(spec.seed ^ probe_salt),
-      session_(build_session(spec_, rng_, nullptr, kappa_, registry_)) {}
+      session_(build_session(spec_, rng_, nullptr, kappa_, registry_)) {
+    session_.enable_graph_journals(journal_limit_for(session_));
+}
 
 ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec, graph::Graph initial)
     : spec_(spec),
       rng_(spec.seed),
       probe_rng_(spec.seed ^ probe_salt),
-      session_(build_session(spec_, rng_, &initial, kappa_, registry_)) {}
+      session_(build_session(spec_, rng_, &initial, kappa_, registry_)) {
+    session_.enable_graph_journals(journal_limit_for(session_));
+}
 
 ScenarioRunner::Probes ScenarioRunner::parse_probes(const ScenarioSpec& spec) {
     Probes probes;
@@ -97,8 +111,14 @@ MetricSample ScenarioRunner::take_sample(std::size_t step, const std::string& ph
     sample.insertions = session_.insertions();
     auto probe_start = std::chrono::steady_clock::now();
     // One CSR snapshot serves every probe of this sample (g cannot mutate
-    // inside take_sample).
-    probe_engine_.begin_sample(g);
+    // inside take_sample). The graph journals carry the structural delta
+    // since the previous sample, so the snapshot is patched forward instead
+    // of rebuilt (drained below — each mutation is consumed exactly once).
+    probe_engine_.begin_sample(g, g.journal(), g.journal_overflowed());
+    probe_engine_.note_reference(session_.reference(), session_.reference().journal(),
+                                 session_.reference().journal_overflowed());
+    g.clear_journal();
+    session_.reference().clear_journal();
     if (probes.connected) sample.components = probe_engine_.component_count(g);
     if (probes.degree) {
         sample.max_degree = g.max_degree();
@@ -193,9 +213,22 @@ RunResult ScenarioRunner::run() {
         auto deleter = make_phase_deleter(phase, registry_);
         auto inserter = make_inserter(phase.inserter);
 
+        // Batched adversary (`batch=k`): deletions stage their reconnection
+        // work; one flush per k deletions (or at a sample / successful
+        // insert / phase end) runs a single connect_units for the batch.
+        std::size_t staged = 0;
+        auto flush_batch = [&]() {
+            if (staged == 0) return;
+            stats.totals.accumulate(session_.flush_staged());
+            staged = 0;
+        };
+
         auto try_insert = [&](std::size_t step) {
             auto neighbors = inserter->pick_neighbors(session_, rng_);
             if (neighbors.empty()) return false;
+            // Inserted nodes land on a healed graph (replay mirrors this
+            // flush point at every recorded insert event).
+            flush_batch();
             TraceEvent event;
             event.kind = TraceEvent::Kind::insert;
             event.step = step;
@@ -232,7 +265,12 @@ RunResult ScenarioRunner::run() {
                         event.node = victim;
                         stats.victim_degree.add(
                             static_cast<double>(session_.reference().degree(victim)));
-                        auto report = session_.delete_node(victim);
+                        auto report = phase.batch > 1 ? session_.stage_delete(victim)
+                                                      : session_.delete_node(victim);
+                        if (phase.batch > 1) {
+                            ++staged;
+                            if (staged >= phase.batch) flush_batch();
+                        }
                         stats.totals.accumulate(report);
                         stats.rounds.add(static_cast<double>(report.rounds));
                         ++stats.deletions;
@@ -249,10 +287,13 @@ RunResult ScenarioRunner::run() {
             ++global_step;
             // The final sample (superset probes) covers the last step.
             if (spec_.sample_every != 0 && global_step % spec_.sample_every == 0 &&
-                global_step != spec_.total_steps())
+                global_step != spec_.total_steps()) {
+                flush_batch();  // probes always observe a healed graph
                 result.samples.push_back(
                     take_sample(global_step, phase.name, cadence_probes));
+            }
         }
+        flush_batch();  // batches never span phases
         result.phases.push_back(std::move(stats));
     }
 
@@ -270,6 +311,8 @@ RunResult ScenarioRunner::run() {
     result.final_sample = take_sample(global_step, last_phase, final_probes());
     result.samples.push_back(result.final_sample);
     result.probe_seconds = probe_seconds_;
+    result.probe_rebuilds = probe_engine_.probe_rebuilds();
+    result.probe_patched_events = probe_engine_.probe_patched_events();
     result.trace_hash = hasher.value();
     result.fingerprint = graph_fingerprint(session_.current());
     evaluate_expectations(result);
@@ -289,9 +332,37 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
     }
     auto t0 = std::chrono::steady_clock::now();
 
+    // Batched phases: replay takes no cadence samples, but the *grouping* of
+    // staged deletions into flushes feeds connect_units different unit sets
+    // (and hence a different healer rng trajectory), so every flush point of
+    // run() is reproduced: batch-full, before each insert event, phase
+    // change, any crossed sample boundary, and end-of-stream. An event
+    // recorded at step s precedes the cadence sample taken after step s iff
+    // s+1 is a sample multiple, so a boundary is crossed between events at
+    // steps p < c iff (p/se + 1)*se <= c.
+    std::size_t staged = 0;
+    std::uint32_t staged_phase = 0;
+    auto flush_batch = [&]() {
+        if (staged == 0) return;
+        core::RepairReport report = session_.flush_staged();
+        if (staged_phase < result.phases.size())
+            result.phases[staged_phase].totals.accumulate(report);
+        staged = 0;
+    };
+    std::size_t prev_step = 0;
+    bool have_prev = false;
+
     for (const TraceEvent& event : trace.events) {
+        if (staged > 0) {
+            bool crossed_sample =
+                spec_.sample_every != 0 && have_prev &&
+                (prev_step / spec_.sample_every + 1) * spec_.sample_every <= event.step;
+            if (crossed_sample || event.phase != staged_phase) flush_batch();
+        }
         PhaseResult* stats =
             event.phase < result.phases.size() ? &result.phases[event.phase] : nullptr;
+        std::size_t batch =
+            event.phase < spec_.phases.size() ? spec_.phases[event.phase].batch : 1;
         if (event.kind == TraceEvent::Kind::remove) {
             if (!session_.current().has_node(event.node))
                 throw std::runtime_error(
@@ -300,13 +371,22 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
             if (stats != nullptr)
                 stats->victim_degree.add(
                     static_cast<double>(session_.reference().degree(event.node)));
-            auto report = session_.delete_node(event.node);
+            core::RepairReport report;
+            if (batch > 1) {
+                report = session_.stage_delete(event.node);
+                staged_phase = event.phase;
+                ++staged;
+                if (staged >= batch) flush_batch();
+            } else {
+                report = session_.delete_node(event.node);
+            }
             if (stats != nullptr) {
                 stats->totals.accumulate(report);
                 stats->rounds.add(static_cast<double>(report.rounds));
                 ++stats->deletions;
             }
         } else {
+            flush_batch();  // run() flushes before every successful insert
             graph::NodeId got = session_.insert_node(event.neighbors);
             if (got != event.node)
                 throw std::runtime_error("replay diverged: step " + std::to_string(event.step) +
@@ -315,8 +395,11 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
             if (stats != nullptr) ++stats->insertions;
         }
         hasher.add(event);
+        prev_step = event.step;
+        have_prev = true;
         result.steps_done = event.step + 1;
     }
+    flush_batch();
 
     auto t1 = std::chrono::steady_clock::now();
     result.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -326,6 +409,8 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
     result.final_sample = take_sample(result.steps_done, last_phase, final_probes());
     result.samples.push_back(result.final_sample);
     result.probe_seconds = probe_seconds_;
+    result.probe_rebuilds = probe_engine_.probe_rebuilds();
+    result.probe_patched_events = probe_engine_.probe_patched_events();
     result.trace_hash = hasher.value();
     result.fingerprint = graph_fingerprint(session_.current());
     evaluate_expectations(result);

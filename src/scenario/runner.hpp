@@ -96,6 +96,10 @@ struct RunResult {
     /// Wall time spent in metric probes across all samples (cadence +
     /// final). Disjoint from `seconds`.
     double probe_seconds = 0.0;
+    /// Incremental probe accounting: full CSR snapshot rebuilds vs journal
+    /// rows patched in place, summed over current + reference snapshots.
+    std::uint64_t probe_rebuilds = 0;
+    std::uint64_t probe_patched_events = 0;
     /// Expectation failures ("metric: wanted X, got Y"); empty = PASS.
     std::vector<std::string> failures;
 

@@ -214,6 +214,7 @@ std::string ScenarioSpec::to_text() const {
         if (p.seed.has_value()) out << " seed=" << *p.seed;
         if (p.burst != 1) out << " burst=" << p.burst;
         if (p.insert_burst != 0) out << " insert_burst=" << p.insert_burst;
+        if (p.batch != 1) out << " batch=" << p.batch;
         out << " delete_fraction=" << p.delete_fraction;
         if (p.delete_fraction_end.has_value()) out << ".." << *p.delete_fraction_end;
         out << " min_nodes=" << p.min_nodes;
@@ -294,6 +295,9 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
                 } else if (key == "insert_burst") {
                     phase.insert_burst =
                         parse_u64_or_fail(value, "insert_burst", line_no);
+                } else if (key == "batch") {
+                    phase.batch = parse_u64_or_fail(value, "batch", line_no);
+                    if (phase.batch == 0) fail(line_no, "batch must be >= 1");
                 } else if (key == "delete_fraction") {
                     if (value.find("..") != std::string::npos)
                         parse_ramp(value, phase, line_no);

@@ -38,6 +38,14 @@
 //   insert_burst=I    — I forced insert events at the start of every step,
 //                       before the regular burst (flash-crowd modeling).
 //
+// Batched adversary (this PR):
+//
+//   phase surge steps=40 delete_fraction=1 batch=16
+//
+//   batch=k           — stage k deletions per repair flush: the healer runs
+//                       per-victim teardown immediately but builds the new
+//                       secondary once per batch (see PhaseSpec::batch).
+//
 // `to_text()` emits the same grammar, and parse(to_text()) round-trips.
 #pragma once
 
@@ -88,6 +96,12 @@ struct PhaseSpec {
     std::optional<std::uint64_t> seed;
     std::size_t burst = 1;         ///< adversary events per step
     std::size_t insert_burst = 0;  ///< forced inserts per step, before `burst`
+    /// Deletions staged per repair flush (`batch=k`). 1 = classic Xheal: every
+    /// deletion is repaired immediately. k > 1 = the healer performs per-victim
+    /// teardown at once but defers new-secondary construction until k deletions
+    /// accumulated (or the phase/run ends, or a metric sample / insert event
+    /// forces a flush so probes and inserters always see a healed graph).
+    std::size_t batch = 1;
     double delete_fraction = 0.5;
     /// Ramp end (grammar v2 `delete_fraction=a..b`); absent = constant.
     std::optional<double> delete_fraction_end;

@@ -24,6 +24,16 @@ public:
     /// Snapshot g's live nodes and edges. Buffers are reused across calls.
     void build(const graph::Graph& g);
 
+    /// Patch the snapshot in place to match g, given the sorted, unique list
+    /// of node ids whose adjacency or liveness changed since the snapshot
+    /// was last built or patched (the Graph structure journal, deduped).
+    /// Clean rows are renumbered by copy, dirty rows are rebuilt from g;
+    /// the resulting arrays are byte-identical to a fresh build(g). Returns
+    /// false — snapshot untouched — when the delta violates the append-only
+    /// id assumption (an id materialized inside the snapshot's id range via
+    /// add_node_with_id) and the caller must build() from scratch.
+    bool patch(const graph::Graph& g, const std::vector<graph::NodeId>& dirty);
+
     std::size_t size() const { return nodes_.size(); }
     std::size_t edge_count() const { return targets_.size() / 2; }
 
@@ -56,12 +66,25 @@ public:
     /// written into `out` (resized). Empty when the total degree is zero.
     void normalized_kernel(std::vector<double>& out) const;
 
+    // Raw array views for the patch-vs-rebuild property tests.
+    const std::vector<std::uint32_t>& offsets() const { return offsets_; }
+    const std::vector<std::uint32_t>& targets() const { return targets_; }
+    const std::vector<double>& inv_sqrt_degrees() const { return inv_sqrt_deg_; }
+
 private:
     std::vector<graph::NodeId> nodes_;
     std::vector<std::uint32_t> position_;  // id -> dense index or npos
     std::vector<std::uint32_t> offsets_;   // size() + 1
     std::vector<std::uint32_t> targets_;   // 2 * edge_count(), dense indices
     std::vector<double> inv_sqrt_deg_;
+    // patch() scratch: double buffers and the old->new renumbering. Reused
+    // across patches so steady-state patching allocates nothing at capacity.
+    std::vector<graph::NodeId> nodes_scratch_;
+    std::vector<std::uint32_t> targets_scratch_;
+    std::vector<std::uint32_t> offsets_old_;
+    std::vector<std::uint32_t> old_to_new_;
+    std::vector<std::uint8_t> row_state_;
+    std::vector<graph::NodeId> added_;
 };
 
 }  // namespace xheal::spectral

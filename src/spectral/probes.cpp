@@ -41,10 +41,36 @@ std::size_t count_components(const CsrGraph& csr, std::vector<std::uint32_t>& vi
 
 }  // namespace
 
+void IncrementalSnapshot::sync(const Graph& g) {
+    if (force_rebuild_ || graph_ != &g) {
+        csr_.build(g);
+        graph_ = &g;
+        force_rebuild_ = false;
+        pending_.clear();
+        ++rebuilds_;
+        return;
+    }
+    if (pending_.empty()) return;  // snapshot already current
+    std::sort(pending_.begin(), pending_.end());
+    pending_.erase(std::unique(pending_.begin(), pending_.end()), pending_.end());
+    // Patching rewrites only the touched rows but still scans every clean
+    // row once to renumber; past a quarter of the rows dirty, the fresh
+    // build is no slower and simpler, so rebuild there (and when the delta
+    // breaks the patcher's append-only id assumption).
+    if (pending_.size() * 4 > csr_.size() || !csr_.patch(g, pending_)) {
+        csr_.build(g);
+        ++rebuilds_;
+    } else {
+        patched_events_ += pending_.size();
+    }
+    pending_.clear();
+}
+
 double ProbeEngine::lambda2(const Graph& g, std::uint64_t seed) {
     if (g.node_count() < 2) return 0.0;
     if (g.node_count() <= dense_limit_) return lambda2_dense(g);
-    return lambda2_sparse(g, seed, probe_lanczos_steps, 1e-7);
+    return lambda2_sparse_impl(g, seed, probe_lanczos_steps, probe_lambda2_tol,
+                               /*warm=*/true);
 }
 
 double ProbeEngine::lambda2_dense(const Graph& g) {
@@ -55,30 +81,62 @@ double ProbeEngine::lambda2_dense(const Graph& g) {
 
 void ProbeEngine::ensure_snapshot(const Graph& g) {
     if (batch_graph_ == &g && snapshot_valid_) return;
-    csr_.build(g);
+    if (batch_graph_ != &g) snap_.invalidate();  // un-batched probe: rebuild
+    snap_.sync(g);
     snapshot_valid_ = batch_graph_ == &g;
+}
+
+const std::vector<double>* ProbeEngine::build_warm_start(const CsrGraph& csr) {
+    if (!has_warm_) return nullptr;
+    std::size_t n = csr.size();
+    start_.assign(n, 0.0);
+    // Both id lists are ascending; merge the stored vector onto the current
+    // dense numbering, zero-filling rows born since the previous solve.
+    const auto& ids = csr.nodes();
+    std::size_t matched = 0, w = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        while (w < warm_ids_.size() && warm_ids_[w] < ids[i]) ++w;
+        if (w == warm_ids_.size()) break;
+        if (warm_ids_[w] == ids[i]) {
+            start_[i] = warm_vec_[w];
+            ++matched;
+        }
+    }
+    return matched * 2 >= n ? &start_ : nullptr;
+}
+
+double ProbeEngine::lambda2_sparse_impl(const Graph& g, std::uint64_t seed,
+                                        std::size_t max_iterations, double tolerance,
+                                        bool warm) {
+    if (g.node_count() < 2) return 0.0;
+    ensure_snapshot(g);
+    const CsrGraph& csr = snap_.csr();
+    if (count_components(csr, dist_, queue_) > 1) return 0.0;
+
+    csr.normalized_kernel(kernel_);
+    util::Rng rng(seed);
+    LinearOperator apply = [&csr](const std::vector<double>& x, std::vector<double>& y) {
+        csr.apply_normalized_laplacian(x, y);
+    };
+    const std::vector<double>* warm_start = warm ? build_warm_start(csr) : nullptr;
+    auto result = lanczos_smallest(apply, csr.size(), kernel_, rng, max_iterations,
+                                   tolerance, warm_start);
+    if (warm) {
+        warm_ids_.assign(csr.nodes().begin(), csr.nodes().end());
+        warm_vec_ = std::move(result.vector);
+        has_warm_ = true;
+    }
+    return std::max(0.0, result.value);
 }
 
 double ProbeEngine::lambda2_sparse(const Graph& g, std::uint64_t seed,
                                    std::size_t max_iterations, double tolerance) {
-    if (g.node_count() < 2) return 0.0;
-    ensure_snapshot(g);
-    if (count_components(csr_, dist_, queue_) > 1) return 0.0;
-
-    csr_.normalized_kernel(kernel_);
-    util::Rng rng(seed);
-    const CsrGraph& csr = csr_;
-    LinearOperator apply = [&csr](const std::vector<double>& x, std::vector<double>& y) {
-        csr.apply_normalized_laplacian(x, y);
-    };
-    auto result = lanczos_smallest(apply, csr_.size(), kernel_, rng, max_iterations,
-                                   tolerance);
-    return std::max(0.0, result.value);
+    return lambda2_sparse_impl(g, seed, max_iterations, tolerance, /*warm=*/false);
 }
 
 std::size_t ProbeEngine::component_count(const Graph& g) {
     ensure_snapshot(g);
-    return count_components(csr_, dist_, queue_);
+    return count_components(snap_.csr(), dist_, queue_);
 }
 
 void ProbeEngine::bfs(const CsrGraph& csr, std::uint32_t src,
@@ -102,13 +160,18 @@ void ProbeEngine::bfs(const CsrGraph& csr, std::uint32_t src,
 double ProbeEngine::sampled_stretch(const Graph& g, const Graph& ref,
                                     std::size_t budget, util::Rng& rng) {
     ensure_snapshot(g);
-    std::size_t n = csr_.size();
+    const CsrGraph& csr = snap_.csr();
+    std::size_t n = csr.size();
     if (n < 2) return 1.0;
-    ref_csr_.build(ref);
+    // The reference only follows the incremental protocol when the caller
+    // feeds note_reference(); otherwise fall back to rebuild-per-call.
+    if (!incremental_) ref_snap_.invalidate();
+    ref_snap_.sync(ref);
+    const CsrGraph& ref_csr = ref_snap_.csr();
 
     // Sample `budget` distinct sources by partial Fisher-Yates over the live
     // pool; budget >= n degenerates to the exact all-sources sweep.
-    sources_.assign(csr_.nodes().begin(), csr_.nodes().end());
+    sources_.assign(csr.nodes().begin(), csr.nodes().end());
     std::size_t k = std::min(budget, n);
     if (k < n) {
         for (std::size_t i = 0; i < k; ++i) {
@@ -120,16 +183,16 @@ double ProbeEngine::sampled_stretch(const Graph& g, const Graph& ref,
 
     double worst = 0.0;
     for (NodeId s : sources_) {
-        std::uint32_t gi = csr_.index_of(s);
-        std::uint32_t ri = ref_csr_.index_of(s);
+        std::uint32_t gi = csr.index_of(s);
+        std::uint32_t ri = ref_csr.index_of(s);
         if (ri == CsrGraph::npos) continue;  // source unknown to the reference
-        bfs(csr_, gi, dist_);
-        bfs(ref_csr_, ri, ref_dist_);
-        const auto& ref_nodes = ref_csr_.nodes();
+        bfs(csr, gi, dist_);
+        bfs(ref_csr, ri, ref_dist_);
+        const auto& ref_nodes = ref_csr.nodes();
         for (std::size_t j = 0; j < ref_nodes.size(); ++j) {
             std::uint32_t rd = ref_dist_[j];
             if (rd == CsrGraph::npos || rd == 0) continue;  // unreachable or s itself
-            std::uint32_t ti = csr_.index_of(ref_nodes[j]);
+            std::uint32_t ti = csr.index_of(ref_nodes[j]);
             if (ti == CsrGraph::npos) continue;  // deleted nodes don't count
             std::uint32_t gd = dist_[ti];
             if (gd == CsrGraph::npos) return std::numeric_limits<double>::infinity();

@@ -1,17 +1,23 @@
 // ProbeEngine — the sparse, scratch-reusing metric probe layer that lets
 // scenario runs sample spectral and stretch metrics at n = 1e5+.
 //
-// The engine owns a CSR snapshot (csr.hpp) plus flat BFS/Lanczos scratch and
-// rebuilds the snapshot per probe; buffers only grow, so steady-state
+// The engine owns incremental CSR snapshots (csr.hpp) plus flat BFS/Lanczos
+// scratch. A snapshot is either rebuilt per probe (the legacy path: callers
+// that mutate the graph arbitrarily between probes) or patched forward from
+// the graph's structure journal (the incremental path: the ScenarioRunner
+// hands begin_sample the delta accumulated since the previous sample, and
+// only the touched rows are rewritten). Buffers only grow, so steady-state
 // probing allocates nothing once the population peak has been seen.
 //
 //   * lambda2()        — algebraic connectivity of the normalized Laplacian.
 //                        Dense Jacobi below `dense_limit` nodes (small
 //                        graphs, exact), matrix-free Lanczos on the implicit
 //                        CSR operator above it, with the D^{1/2} 1 kernel
-//                        deflated. Selection is automatic; the _dense/_sparse
-//                        entry points force one path (property tests compare
-//                        them to 1e-6).
+//                        deflated. The auto path warm-starts each solve from
+//                        the previous sample's Ritz vector when at least
+//                        half its support is still alive. Selection is
+//                        automatic; the _dense/_sparse entry points force
+//                        one path cold (property tests compare them to 1e-6).
 //   * component_count() — connected components via CSR BFS (flat arrays, no
 //                        hashing), the probe behind `connected`.
 //   * sampled_stretch() — the paper's network-stretch metric over a fixed
@@ -34,6 +40,51 @@
 
 namespace xheal::spectral {
 
+/// A CsrGraph that tracks its own staleness. Callers note() the journal of
+/// node ids touched since the last sync; sync() then patches the snapshot
+/// forward, falling back to a full rebuild when the snapshot was never
+/// built, the journal overflowed, the churn exceeds a quarter of the rows,
+/// or the delta violates the patcher's append-only id assumption. Either
+/// way the synced arrays are byte-identical to a fresh build.
+class IncrementalSnapshot {
+public:
+    /// Record that `dirty` (a graph journal: unsorted, may repeat, may name
+    /// dead ids) happened since the last sync. An overflowed journal is an
+    /// unknown delta and forces the next sync to rebuild.
+    void note(const graph::Graph& g, const std::vector<graph::NodeId>& dirty,
+              bool overflowed) {
+        if (&g != graph_ || overflowed) {
+            invalidate();
+            graph_ = &g;
+            return;
+        }
+        if (!force_rebuild_)
+            pending_.insert(pending_.end(), dirty.begin(), dirty.end());
+    }
+
+    /// Forget the snapshot; the next sync rebuilds from scratch.
+    void invalidate() {
+        force_rebuild_ = true;
+        pending_.clear();
+    }
+
+    /// Bring the snapshot up to date with g.
+    void sync(const graph::Graph& g);
+
+    const CsrGraph& csr() const { return csr_; }
+
+    std::uint64_t rebuilds() const { return rebuilds_; }
+    std::uint64_t patched_events() const { return patched_events_; }
+
+private:
+    CsrGraph csr_;
+    const graph::Graph* graph_ = nullptr;
+    std::vector<graph::NodeId> pending_;
+    bool force_rebuild_ = true;
+    std::uint64_t rebuilds_ = 0;
+    std::uint64_t patched_events_ = 0;
+};
+
 class ProbeEngine {
 public:
     /// Node count at or below which lambda2() uses the dense Jacobi path.
@@ -47,6 +98,16 @@ public:
     /// above, so probe readings are a slight over-estimate.
     static constexpr std::size_t probe_lanczos_steps = 64;
 
+    /// Convergence tolerance of the auto lambda2() probe. At probe scale the
+    /// bottom of the spectrum is a cluster (edge of the bulk), so the
+    /// intrinsic bias of the step budget above is already ~1e-3; asking
+    /// Lanczos for more digits than that burns the full budget every sample
+    /// for accuracy the probe cannot deliver anyway. 2e-3 stops the cold
+    /// solve once the Ritz value stalls at probe-grade accuracy and lets a
+    /// warm-started solve exit after a handful of iterations. Threshold
+    /// expectations (`expect lambda2 >= x`) sit orders of magnitude away.
+    static constexpr double probe_lambda2_tol = 2e-3;
+
     /// Exhaustive budget used by lambda2_sparse(): below this many nodes the
     /// Krylov space is exhausted and the value is exact to round-off, which
     /// is what the sparse-vs-dense property tests compare at 1e-6.
@@ -57,14 +118,15 @@ public:
 
     /// lambda2 of the normalized Laplacian; 0 for < 2 nodes or disconnected
     /// graphs. Deterministic given the seed. Auto-selects dense Jacobi below
-    /// dense_limit() nodes and budgeted Lanczos (probe_lanczos_steps) above.
+    /// dense_limit() nodes and budgeted Lanczos (probe_lanczos_steps) above,
+    /// warm-started from the previous auto solve when possible.
     double lambda2(const graph::Graph& g, std::uint64_t seed = 12345);
 
     /// Force the dense Jacobi path (any size; O(n^3), small graphs only).
     double lambda2_dense(const graph::Graph& g);
 
     /// Force the matrix-free CSR Lanczos path (any size >= 2) with an
-    /// explicit step budget (exhaustive by default).
+    /// explicit step budget (exhaustive by default). Always cold-starts.
     double lambda2_sparse(const graph::Graph& g, std::uint64_t seed = 12345,
                           std::size_t max_iterations = exact_lanczos_steps,
                           double tolerance = 1e-9);
@@ -81,23 +143,63 @@ public:
                            std::size_t budget, util::Rng& rng);
 
     /// Batch scope: between begin_sample(g) and end_sample(), the CSR
-    /// snapshot of g is built lazily on first use and then shared by every
+    /// snapshot of g is synced lazily on first use and then shared by every
     /// probe in the batch (the caller vouches that g does not mutate).
     /// Outside a batch each probe rebuilds the snapshot itself.
+    ///
+    /// The journal-free overload discards any incremental state (the delta
+    /// since the last sample is unknown) and rebuilds. The journal overload
+    /// is the incremental path: `dirty` is g's structure journal since the
+    /// previous begin_sample, and the sync patches instead of rebuilding.
     void begin_sample(const graph::Graph& g) {
         batch_graph_ = &g;
         snapshot_valid_ = false;
+        incremental_ = false;
+        snap_.invalidate();
+    }
+    void begin_sample(const graph::Graph& g, const std::vector<graph::NodeId>& dirty,
+                      bool journal_overflowed) {
+        batch_graph_ = &g;
+        snapshot_valid_ = false;
+        incremental_ = true;
+        snap_.note(g, dirty, journal_overflowed);
+    }
+    /// Incremental-path companion for the stretch probe's reference graph.
+    void note_reference(const graph::Graph& ref, const std::vector<graph::NodeId>& dirty,
+                        bool journal_overflowed) {
+        ref_snap_.note(ref, dirty, journal_overflowed);
     }
     void end_sample() {
         batch_graph_ = nullptr;
         snapshot_valid_ = false;
     }
 
+    /// Full CSR rebuilds / rows-patched-in-place performed so far, summed
+    /// over the main and reference snapshots. Surfaced per run as the
+    /// `probe_rebuilds` / `probe_patched_events` counters.
+    std::uint64_t probe_rebuilds() const {
+        return snap_.rebuilds() + ref_snap_.rebuilds();
+    }
+    std::uint64_t probe_patched_events() const {
+        return snap_.patched_events() + ref_snap_.patched_events();
+    }
+
     std::size_t dense_limit() const { return dense_limit_; }
 
 private:
-    /// Build the snapshot of g, or reuse it within a begin_sample batch.
+    /// Sync the snapshot of g, or reuse it within a begin_sample batch.
     void ensure_snapshot(const graph::Graph& g);
+
+    /// lambda2 via CSR Lanczos, optionally warm-started from (and feeding)
+    /// the previous auto solve's Ritz vector.
+    double lambda2_sparse_impl(const graph::Graph& g, std::uint64_t seed,
+                               std::size_t max_iterations, double tolerance,
+                               bool warm);
+
+    /// Scatter the stored Ritz vector onto csr's dense indexing (zeros for
+    /// rows with no stored entry). Returns null when absent or fewer than
+    /// half of csr's rows carry a stored value — too stale to help.
+    const std::vector<double>* build_warm_start(const CsrGraph& csr);
 
     /// BFS over `csr` from dense index `src` into `dist` (npos = unreached).
     /// `dist` is resized and re-initialized; `queue` is the work list.
@@ -106,13 +208,19 @@ private:
     std::size_t dense_limit_;
     const graph::Graph* batch_graph_ = nullptr;
     bool snapshot_valid_ = false;
-    CsrGraph csr_;
-    CsrGraph ref_csr_;
+    bool incremental_ = false;
+    IncrementalSnapshot snap_;
+    IncrementalSnapshot ref_snap_;
     std::vector<double> kernel_;
     std::vector<std::uint32_t> dist_;
     std::vector<std::uint32_t> ref_dist_;
     std::vector<std::uint32_t> queue_;
     std::vector<graph::NodeId> sources_;
+    // Warm-start state: the previous auto-path Ritz vector keyed by node id.
+    std::vector<graph::NodeId> warm_ids_;
+    std::vector<double> warm_vec_;
+    std::vector<double> start_;
+    bool has_warm_ = false;
 };
 
 }  // namespace xheal::spectral

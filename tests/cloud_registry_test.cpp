@@ -187,9 +187,9 @@ TEST_F(RegistryTest, BridgeAssocPurgedOnRemoval) {
     add_nodes(6);
     ColorId p = reg.create_cloud(g, CloudKind::primary, {0, 1, 2}, rng);
     ColorId s = reg.create_cloud(g, CloudKind::secondary, {0, 3, 4}, rng);
-    reg.find(s)->bridge_assoc[0] = p;
+    reg.find(s)->set_bridge_assoc(0, p);
     reg.remove_member(g, s, 0, rng, false);
-    EXPECT_FALSE(reg.find(s)->bridge_assoc.contains(0));
+    EXPECT_FALSE(reg.find(s)->has_bridge_assoc(0));
     EXPECT_TRUE(reg.is_free(0));
     reg.verify(g);
 }

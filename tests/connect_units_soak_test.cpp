@@ -1,24 +1,23 @@
 // Structural-event allocation soak: the repair hot path is allocation-free
-// in steady state (repair_scratch_soak_test), but ROADMAP lists the
-// remaining exception — connect_units still allocates on STRUCTURAL
-// events: creating a new secondary expander cloud and the costly combine.
-// This soak drives exactly those paths (a bridge-hunting kill loop starves
-// clouds of free nodes, forcing FixSecondary and combines) and PINS the
-// current allocation budget, so that
+// in steady state (repair_scratch_soak_test), and since the arena'd
+// connect_units landed the STRUCTURAL events — creating a new secondary
+// expander cloud and the costly combine — are too: clouds are recycled
+// through the registry's slot pool, heal events and their member vectors
+// through the healer's event pool, and every former per-call container is
+// a persistent scratch buffer. This soak drives exactly those paths (a
+// bridge-hunting kill loop starves clouds of free nodes, forcing
+// FixSecondary and combines) and PINS the steady-state budget at ZERO.
 //
-//   - an accidental allocation regression on the structural path fails the
-//     upper bound loudly, and
-//   - the PR that finally de-allocates secondary creation/combine must
-//     lower the pinned bound in the same commit (the lower bound below
-//     fails once the allocations disappear), keeping ROADMAP honest.
-//
-// The budget is counted per structural event (clouds_touched across the
-// window's repairs), not per run, so the pin survives schedule tweaks.
-// Measured on the reference toolchain (gcc/libstdc++ Release): ~9
-// allocations per structural cloud event — the new cloud's H-graph slot
-// vectors, membership rows and claim mirror.
+// "Steady state" means every pooled buffer has seen its peak: the cloud
+// pool its peak live-cloud count, each revived cloud's H-graph its peak
+// membership, the event pool its peak per-repair event count. Those peaks
+// depend on how the kill schedule unfolds, so a fixed-length warmup can't
+// be trusted; instead the warmup is ADAPTIVE — batches of bridge kills
+// until two consecutive batches allocate nothing — and only then does the
+// counted window open. A single allocation in the window fails the pin.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
@@ -92,9 +91,28 @@ NodeId pick_bridge_victim(const core::HealingSession& session,
     return best;
 }
 
+/// Adversary inserts restoring the population to `target`, each new node
+/// attached to three distinct random survivors. Runs OUTSIDE the measured
+/// batches: insertion itself may allocate (fresh ids grow the graph's slot
+/// table and the registry's membership index), but it keeps the workload
+/// stationary so the kill batches can reach a true steady state.
+void replenish(core::HealingSession& session, util::Rng& rng, std::size_t target,
+               std::vector<NodeId>& alive, std::vector<NodeId>& nbrs) {
+    while (session.current().node_count() < target) {
+        const auto view = session.current().nodes();
+        alive.assign(view.begin(), view.end());
+        nbrs.clear();
+        while (nbrs.size() < 3 && nbrs.size() < alive.size()) {
+            NodeId w = alive[rng.index(alive.size())];
+            if (std::find(nbrs.begin(), nbrs.end(), w) == nbrs.end()) nbrs.push_back(w);
+        }
+        session.insert_node(nbrs);
+    }
+}
+
 }  // namespace
 
-TEST(ConnectUnitsSoak, StructuralEventAllocationsStayWithinThePinnedBudget) {
+TEST(ConnectUnitsSoak, StructuralEventsAllocateNothingInSteadyState) {
     util::Rng topo_rng(29);
     auto healer = std::make_unique<core::XhealHealer>(core::XhealConfig{/*d=*/2,
                                                                        /*seed=*/17});
@@ -103,26 +121,42 @@ TEST(ConnectUnitsSoak, StructuralEventAllocationsStayWithinThePinnedBudget) {
                                  std::move(healer));
 
     std::vector<graph::ColorId> prim_scratch;
+    std::vector<NodeId> alive_scratch, nbr_scratch;
+    util::Rng insert_rng(99);
     core::RepairReport window_totals;
 
-    // Warmup: kill bridges until the cloud machinery exists and every
-    // steady-state scratch buffer has seen its peak (the same contract the
-    // steady-state soaks rely on). 40 deletions create the first secondary
-    // clouds and trigger early combines.
-    for (int i = 0; i < 40; ++i) {
-        NodeId v = pick_bridge_victim(session, registry, prim_scratch);
-        if (v == graph::invalid_node) break;
-        session.delete_node(v);
+    // Adaptive warmup: batches of 10 bridge kills, population replenished
+    // between batches (outside measurement) so the workload is stationary,
+    // until two consecutive batches allocate nothing — only then has every
+    // pool provably seen its peak for this schedule. A fixed-length warmup
+    // can't be trusted: the peaks (pool slots, per-slot H-graph sizes,
+    // per-repair event counts) depend on how the schedule unfolds.
+    std::size_t warm_batches = 0;
+    std::size_t zero_streak = 0;
+    while (zero_streak < 2) {
+        ASSERT_LT(warm_batches, 300u)
+            << "warmup never reached an allocation-free batch — the arena is "
+               "no longer reaching steady state";
+        replenish(session, insert_rng, 140, alive_scratch, nbr_scratch);
+        std::uint64_t batch_before = allocations();
+        for (int i = 0; i < 10; ++i) {
+            NodeId v = pick_bridge_victim(session, registry, prim_scratch);
+            ASSERT_NE(v, graph::invalid_node);
+            session.delete_node(v);
+        }
+        zero_streak = allocations() == batch_before ? zero_streak + 1 : 0;
+        ++warm_batches;
     }
     ASSERT_GT(registry.cloud_count(), 0u);
 
-    // Counted window: 50 more bridge kills, all forcing FixSecondary /
+    // Counted window: 30 more bridge kills, all forcing FixSecondary /
     // combine repairs (each one creates or merges clouds).
+    replenish(session, insert_rng, 140, alive_scratch, nbr_scratch);
     std::uint64_t before = allocations();
     std::size_t deletions = 0;
-    for (int i = 0; i < 50; ++i) {
+    for (int i = 0; i < 30; ++i) {
         NodeId v = pick_bridge_victim(session, registry, prim_scratch);
-        if (v == graph::invalid_node) break;
+        ASSERT_NE(v, graph::invalid_node);
         auto report = session.delete_node(v);
         window_totals.accumulate(report);
         ++deletions;
@@ -130,32 +164,24 @@ TEST(ConnectUnitsSoak, StructuralEventAllocationsStayWithinThePinnedBudget) {
     std::uint64_t allocated = allocations() - before;
 
     // The window must actually have exercised the structural paths.
-    ASSERT_GT(deletions, 30u);
+    ASSERT_EQ(deletions, 30u);
     ASSERT_GT(window_totals.combines, 0u) << "workload no longer forces combines";
     ASSERT_GT(window_totals.clouds_touched, deletions)
         << "workload no longer creates/merges clouds";
 
-    // Structural events this window: every repair here touched clouds, so
-    // normalize by clouds_touched (creation + combine + dissolution).
-    double per_event =
-        static_cast<double>(allocated) / static_cast<double>(window_totals.clouds_touched);
-
-    // The PIN. Upper bound: ~4x the measured ~9/event on the reference
-    // toolchain — an O(population) allocation regression (e.g.
-    // re-materializing membership vectors per event) blows through it.
-    // Lower bound: connect_units DOES allocate today (ROADMAP); when a
-    // future PR removes those allocations this assertion fails and the
-    // budget must be re-pinned to zero in the same commit.
-    EXPECT_GT(allocated, 0u)
-        << "structural events no longer allocate — ROADMAP item done; re-pin to 0";
-    EXPECT_LE(per_event, 40.0)
+    // The PIN: zero. Cloud creation recycles a pooled slot, combine reuses
+    // the survivor's H-graph storage, events and member lists come from the
+    // event pool — nothing on the structural path may touch the heap once
+    // warm. Any regression (a per-event container, a re-materialized
+    // membership vector) fails here with the exact count.
+    EXPECT_EQ(allocated, 0u)
         << allocated << " allocations over " << window_totals.clouds_touched
-        << " structural cloud events (" << per_event << " per event)";
-    // Keep the measured figure in the test log for future re-pinning.
+        << " structural cloud events — the arena'd connect_units path "
+           "regressed";
     std::cout << "[ BUDGET   ] " << allocated << " allocations / "
-              << window_totals.clouds_touched << " cloud events = " << per_event
-              << " per structural event (combines: " << window_totals.combines
-              << ")\n";
+              << window_totals.clouds_touched << " cloud events after "
+              << warm_batches << " warmup batches (combines: "
+              << window_totals.combines << ")\n";
 
     session.healer().check_consistency(session.current());
 }

@@ -160,6 +160,8 @@ struct JsonRow {
     double steps_per_sec = 0.0;
     double probe_seconds = 0.0;
     std::size_t samples = 0;
+    std::uint64_t probe_rebuilds = 0;
+    std::uint64_t probe_patched_events = 0;
     bool pass = false;
 };
 
@@ -188,6 +190,8 @@ int write_json(const std::string& path, const std::vector<JsonRow>& rows) {
             << ", \"samples\": " << rows[i].samples
             << ", \"probe_ms_per_sample\": "
             << util::format_double(probe_ms_per_sample, 3)
+            << ", \"probe_rebuilds\": " << rows[i].probe_rebuilds
+            << ", \"probe_patched_events\": " << rows[i].probe_patched_events
             << ", \"pass\": " << (rows[i].pass ? "true" : "false") << "}"
             << (i + 1 < rows.size() ? "," : "") << "\n";
     }
@@ -252,6 +256,8 @@ int cmd_run(const std::vector<std::string>& args) {
         print_phases(result);
         std::cout << "\n";
         print_samples(result);
+        std::cout << "probe snapshots: " << result.probe_rebuilds << " rebuilds, "
+                  << result.probe_patched_events << " rows patched in place\n";
         for (const auto& failure : result.failures)
             std::cout << "expectation failed — " << failure << "\n";
         std::cout << "VERDICT scenario-" << spec.name << " "
@@ -267,6 +273,7 @@ int cmd_run(const std::vector<std::string>& args) {
         json_rows.push_back({spec.name, result.steps_done, result.events.size(),
                              result.seconds, result.steps_per_sec(),
                              result.probe_seconds, result.samples.size(),
+                             result.probe_rebuilds, result.probe_patched_events,
                              result.passed()});
     }
     if (!json_path.empty() && write_json(json_path, json_rows) != 0) return 1;
@@ -513,6 +520,12 @@ void print_violations(const std::vector<trace_tools::ExecViolation>& violations)
 /// re-demonstrates the violation.
 scenario::ScenarioSpec reproducer_spec(scenario::ScenarioSpec spec,
                                        const trace_tools::ExecOptions& exec) {
+    // Shrunk traces are replayed event-by-event by the TraceExecutor, which
+    // flushes every repair immediately — batch grouping is a live-run
+    // concept. Normalize `batch` to 1 so the reproducer spec's semantics
+    // match the executor's, instead of promising a deferred-flush schedule
+    // the shrunk event stream no longer encodes.
+    for (auto& phase : spec.phases) phase.batch = 1;
     if (std::isnan(exec.lambda2_floor)) return spec;
     std::erase_if(spec.expectations, [](const scenario::Expectation& e) {
         return e.kind == scenario::Expectation::Kind::lambda2_ge;
