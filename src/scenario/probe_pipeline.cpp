@@ -1,0 +1,166 @@
+#include "scenario/probe_pipeline.hpp"
+
+#include <chrono>
+
+namespace xheal::scenario {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+ProbePipeline::ProbePipeline(Collect collect) : collect_(std::move(collect)) {
+    worker_ = std::thread([this] { worker_loop(); });
+}
+
+ProbePipeline::~ProbePipeline() {
+    // Let the worker finish anything in flight (collecting the results so
+    // the callback sees every published job even on early destruction),
+    // then park a stop token in the slot it will look at next. Swallow a
+    // propagating job error — the run is already being torn down.
+    try {
+        drain();
+    } catch (...) {
+    }
+    slots_[next_publish_].state.store(kStop, std::memory_order_release);
+    slots_[next_publish_].state.notify_one();
+    worker_.join();
+}
+
+void ProbePipeline::note(const graph::Graph& g, const std::vector<graph::NodeId>& dirty,
+                         bool overflowed, const graph::Graph& ref,
+                         const std::vector<graph::NodeId>& ref_dirty,
+                         bool ref_overflowed) {
+    for (Slot& slot : slots_) {
+        slot.snap.note(g, dirty, overflowed);
+        slot.ref_snap.note(ref, ref_dirty, ref_overflowed);
+    }
+}
+
+double ProbePipeline::publish(const graph::Graph& g, const graph::Graph& ref,
+                              std::size_t sample_index, bool want_components,
+                              bool want_lambda2, bool want_stretch,
+                              std::size_t stretch_budget, util::Rng& probe_rng) {
+    Slot& slot = slots_[next_publish_];
+    double stalled = 0.0;
+    int state = slot.state.load(std::memory_order_acquire);
+    if (state == kReady) {
+        // The worker is two cadence windows behind; this wait is the only
+        // point the stepping thread ever blocks on an in-flight probe.
+        auto w0 = std::chrono::steady_clock::now();
+        while (state == kReady) {
+            slot.state.wait(kReady, std::memory_order_acquire);
+            state = slot.state.load(std::memory_order_acquire);
+        }
+        stalled = seconds_since(w0);
+        stall_seconds_ += stalled;
+    }
+    if (state == kDone) collect_slot(slot);
+
+    // The slot is ours: freeze the graph(s) while they are quiescent. The
+    // reference snapshot is only needed (and only synced) for stretch.
+    slot.snap.sync(g);
+    if (want_stretch) slot.ref_snap.sync(ref);
+
+    ProbeJob& job = slot.job;
+    job.sample_index = sample_index;
+    job.want_components = want_components;
+    job.want_lambda2 = want_lambda2;
+    job.want_stretch = want_stretch;
+    job.components = 0;
+    job.lambda2 = std::nan("");
+    job.stretch = std::nan("");
+    job.worker_seconds = 0.0;
+    job.error = nullptr;
+    if (want_stretch) {
+        // Draw the sources here, on the probe stream, in exactly the order
+        // inline sampling would — the worker only runs the BFS half.
+        spectral::ProbeEngine::sample_stretch_sources(slot.snap.csr(), stretch_budget,
+                                                      probe_rng, job.stretch_sources);
+    } else {
+        job.stretch_sources.clear();
+    }
+
+    slot.state.store(kReady, std::memory_order_release);
+    slot.state.notify_one();
+    next_publish_ ^= 1;
+    return stalled;
+}
+
+double ProbePipeline::drain() {
+    double stalled = 0.0;
+    // Oldest in-flight slot first, so jobs are collected in publish order.
+    for (std::size_t k = 0; k < 2; ++k) {
+        Slot& slot = slots_[(next_publish_ + k) % 2];
+        int state = slot.state.load(std::memory_order_acquire);
+        if (state == kReady) {
+            auto w0 = std::chrono::steady_clock::now();
+            while (state == kReady) {
+                slot.state.wait(kReady, std::memory_order_acquire);
+                state = slot.state.load(std::memory_order_acquire);
+            }
+            double waited = seconds_since(w0);
+            stalled += waited;
+            stall_seconds_ += waited;
+        }
+        if (state == kDone) collect_slot(slot);
+    }
+    return stalled;
+}
+
+std::uint64_t ProbePipeline::rebuilds() const {
+    return slots_[0].snap.rebuilds() + slots_[0].ref_snap.rebuilds() +
+           slots_[1].snap.rebuilds() + slots_[1].ref_snap.rebuilds();
+}
+
+std::uint64_t ProbePipeline::patched_events() const {
+    return slots_[0].snap.patched_events() + slots_[0].ref_snap.patched_events() +
+           slots_[1].snap.patched_events() + slots_[1].ref_snap.patched_events();
+}
+
+void ProbePipeline::collect_slot(Slot& slot) {
+    slot.state.store(kFree, std::memory_order_relaxed);
+    if (slot.job.error != nullptr) {
+        std::exception_ptr error = slot.job.error;
+        slot.job.error = nullptr;
+        std::rethrow_exception(error);
+    }
+    collect_(slot.job);
+}
+
+void ProbePipeline::worker_loop() {
+    for (std::size_t i = 0;;) {
+        Slot& slot = slots_[i];
+        int state = slot.state.load(std::memory_order_acquire);
+        while (state != kReady && state != kStop) {
+            slot.state.wait(state, std::memory_order_acquire);
+            state = slot.state.load(std::memory_order_acquire);
+        }
+        if (state == kStop) return;
+        run_job(slot);
+        slot.state.store(kDone, std::memory_order_release);
+        slot.state.notify_one();
+        i ^= 1;
+    }
+}
+
+void ProbePipeline::run_job(Slot& slot) {
+    ProbeJob& job = slot.job;
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        const spectral::CsrGraph& csr = slot.snap.csr();
+        if (job.want_components) job.components = engine_.component_count_csr(csr);
+        if (job.want_lambda2) job.lambda2 = engine_.lambda2_csr(csr);
+        if (job.want_stretch)
+            job.stretch = engine_.stretch_over_sources(csr, slot.ref_snap.csr(),
+                                                       job.stretch_sources);
+    } catch (...) {
+        job.error = std::current_exception();
+    }
+    job.worker_seconds = seconds_since(t0);
+}
+
+}  // namespace xheal::scenario

@@ -1,0 +1,148 @@
+// ProbePipeline — the off-thread half of scenario metric sampling.
+//
+// The stepping thread publishes a frozen CSR snapshot of the healed graph
+// at each cadence point and keeps stepping; a dedicated probe worker runs
+// the heavy probes (component BFS, lambda2 Lanczos/Jacobi, stretch BFS
+// sweeps) against the snapshot and hands the values back through a collect
+// callback invoked on the stepping thread. Cheap per-sample fields
+// (counters, degree ratios, expansion) never enter the pipeline — the
+// runner fills them inline at the quiescent cadence point.
+//
+// Determinism contract: off-thread probing produces byte-identical
+// MetricSample values to inline probing.
+//   * Snapshots are synced (patched/rebuilt) on the stepping thread before
+//     publish, so the worker only ever reads frozen arrays that are
+//     byte-identical to what an inline probe would have built
+//     (csr_patch_test's patch == build property).
+//   * The worker owns its own ProbeEngine, and jobs are consumed strictly
+//     in publish order, so the lambda2 warm-start chain sees the same
+//     snapshot sequence as the inline engine would.
+//   * The stretch probe's rng draws happen on the stepping thread at
+//     publish (ProbeEngine::sample_stretch_sources), in the same order
+//     inline sampling would draw them; the worker only runs the BFS half.
+//   * Probes never touch the master rng at all, so the event trace and
+//     fingerprint cannot depend on probe mode by construction.
+//
+// Double-buffer protocol: two slots, each owning an IncrementalSnapshot
+// pair (current + reference) and a ProbeJob, cycled round-robin by both
+// threads. A slot's lifecycle is kFree -> kReady (published, worker may
+// read) -> kDone (results written, stepping thread may collect) -> kFree.
+// The state field is a std::atomic<int> used with acquire/release ordering
+// and C++20 atomic wait/notify: the release store of kReady publishes the
+// synced CSR arrays and job inputs to the worker; the release store of
+// kDone publishes the probe outputs back. Shutdown is encoded as a state
+// value (kStop) because atomic::wait only wakes on a value change.
+//
+// With two slots the stepping thread blocks only when the worker is a full
+// two cadence windows behind; that wait is metered as stall_seconds and
+// excluded from both throughput and probe billing. Probe results therefore
+// lag the stepping frontier by at most one cadence window, and drain() at
+// phase end / run end is the only other join point.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "spectral/probes.hpp"
+#include "util/rng.hpp"
+
+namespace xheal::scenario {
+
+/// One off-thread probe batch: inputs written by the stepping thread before
+/// publish, outputs written by the worker before completion.
+struct ProbeJob {
+    // Inputs (stepping thread, slot kFree).
+    std::size_t sample_index = 0;  ///< row in RunResult::samples to fill
+    bool want_components = false;
+    bool want_lambda2 = false;
+    bool want_stretch = false;
+    std::vector<graph::NodeId> stretch_sources;  ///< pre-drawn on publish
+    // Outputs (worker, slot kReady).
+    std::size_t components = 0;
+    double lambda2 = std::nan("");
+    double stretch = std::nan("");
+    double worker_seconds = 0.0;  ///< wall time the worker spent probing
+    std::exception_ptr error;     ///< rethrown on the stepping thread
+};
+
+class ProbePipeline {
+public:
+    /// Invoked on the stepping thread (from publish()/drain()) once per
+    /// collected job, in publish order.
+    using Collect = std::function<void(const ProbeJob&)>;
+
+    explicit ProbePipeline(Collect collect);
+    ~ProbePipeline();
+
+    ProbePipeline(const ProbePipeline&) = delete;
+    ProbePipeline& operator=(const ProbePipeline&) = delete;
+
+    /// Record the structural delta since the previous cadence point into
+    /// both slots' snapshots. Call exactly once per cadence point, before
+    /// publish(); the caller clears the journals afterwards. Safe while the
+    /// worker reads a slot's CSR — note() only appends to the pending delta.
+    void note(const graph::Graph& g, const std::vector<graph::NodeId>& dirty,
+              bool overflowed, const graph::Graph& ref,
+              const std::vector<graph::NodeId>& ref_dirty, bool ref_overflowed);
+
+    /// Freeze g (and, for stretch, the reference) into the next slot, draw
+    /// the stretch sources from `probe_rng`, and hand the batch to the
+    /// worker. Blocks only when both slots are in flight; returns the
+    /// seconds spent in that wait (also accumulated into stall_seconds()).
+    /// May invoke the collect callback for a previously finished job.
+    double publish(const graph::Graph& g, const graph::Graph& ref,
+                   std::size_t sample_index, bool want_components,
+                   bool want_lambda2, bool want_stretch,
+                   std::size_t stretch_budget, util::Rng& probe_rng);
+
+    /// Join point (phase end / run end): collect every in-flight job.
+    /// Returns the seconds spent waiting on the worker (also accumulated
+    /// into stall_seconds()).
+    double drain();
+
+    /// Total stepping-thread seconds spent blocked on the worker.
+    double stall_seconds() const { return stall_seconds_; }
+
+    /// Snapshot accounting over both slots (current + reference), same
+    /// meaning as ProbeEngine::probe_rebuilds/probe_patched_events.
+    std::uint64_t rebuilds() const;
+    std::uint64_t patched_events() const;
+
+private:
+    // Slot states; kStop is stored into the worker's next slot at shutdown.
+    static constexpr int kFree = 0;
+    static constexpr int kReady = 1;
+    static constexpr int kDone = 2;
+    static constexpr int kStop = 3;
+
+    struct Slot {
+        spectral::IncrementalSnapshot snap;
+        spectral::IncrementalSnapshot ref_snap;
+        ProbeJob job;
+        std::atomic<int> state{kFree};
+    };
+
+    void worker_loop();
+    /// Run one job against its slot's frozen snapshots (worker thread).
+    void run_job(Slot& slot);
+    /// Invoke the collect callback and free the slot (stepping thread;
+    /// slot must be kDone). Rethrows a worker exception.
+    void collect_slot(Slot& slot);
+
+    Slot slots_[2];
+    std::size_t next_publish_ = 0;  ///< oldest slot; publish + collect order
+    Collect collect_;
+    double stall_seconds_ = 0.0;
+    /// Worker-owned probe engine: scratch buffers plus the lambda2
+    /// warm-start chain, fed jobs strictly in publish order.
+    spectral::ProbeEngine engine_;
+    std::thread worker_;
+};
+
+}  // namespace xheal::scenario

@@ -1,10 +1,12 @@
 #include "scenario/runner.hpp"
 
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "core/metrics.hpp"
 #include "graph/algorithms.hpp"
+#include "scenario/probe_pipeline.hpp"
 #include "spectral/expansion.hpp"
 #include "spectral/laplacian.hpp"
 
@@ -120,6 +122,20 @@ MetricSample ScenarioRunner::take_sample(std::size_t step, const std::string& ph
     g.clear_journal();
     session_.reference().clear_journal();
     if (probes.connected) sample.components = probe_engine_.component_count(g);
+    probe_cheap(sample, probes);
+    if (probes.lambda2) sample.lambda2 = probe_engine_.lambda2(g);
+    if (probes.stretch)
+        sample.stretch = probe_engine_.sampled_stretch(g, session_.reference(),
+                                                       spec_.stretch_samples, probe_rng_);
+    probe_engine_.end_sample();
+    auto probe_end = std::chrono::steady_clock::now();
+    sample.probe_seconds = std::chrono::duration<double>(probe_end - probe_start).count();
+    probe_seconds_ += sample.probe_seconds;
+    return sample;
+}
+
+void ScenarioRunner::probe_cheap(MetricSample& sample, const Probes& probes) {
+    const graph::Graph& g = session_.current();
     if (probes.degree) {
         sample.max_degree = g.max_degree();
         auto increase = core::degree_increase(g, session_.reference());
@@ -137,15 +153,44 @@ MetricSample ScenarioRunner::take_sample(std::size_t step, const std::string& ph
         sample.worst_slack_ratio = worst;
     }
     if (probes.expansion) sample.expansion = spectral::edge_expansion_estimate(g);
-    if (probes.lambda2) sample.lambda2 = probe_engine_.lambda2(g);
-    if (probes.stretch)
-        sample.stretch = probe_engine_.sampled_stretch(g, session_.reference(),
-                                                       spec_.stretch_samples, probe_rng_);
-    probe_engine_.end_sample();
+}
+
+double ScenarioRunner::sample_async(ProbePipeline& pipeline, RunResult& result,
+                                    std::size_t step, const std::string& phase,
+                                    const Probes& probes) {
+    const graph::Graph& g = session_.current();
+    MetricSample sample;
+    sample.step = step;
+    sample.phase = phase;
+    sample.nodes = g.node_count();
+    sample.edges = g.edge_count();
+    sample.deletions = session_.deletions();
+    sample.insertions = session_.insertions();
+    auto probe_start = std::chrono::steady_clock::now();
+    probe_cheap(sample, probes);
+    // Hand the structural delta since the previous cadence point to the
+    // pipeline's double-buffered snapshots (each mutation consumed exactly
+    // once, mirroring the inline path's journal drain).
+    pipeline.note(g, g.journal(), g.journal_overflowed(), session_.reference(),
+                  session_.reference().journal(),
+                  session_.reference().journal_overflowed());
+    g.clear_journal();
+    session_.reference().clear_journal();
+    std::size_t index = result.samples.size();
+    result.samples.push_back(std::move(sample));
+    double stalled =
+        pipeline.publish(g, session_.reference(), index, probes.connected,
+                         probes.lambda2, probes.stretch, spec_.stretch_samples,
+                         probe_rng_);
     auto probe_end = std::chrono::steady_clock::now();
-    sample.probe_seconds = std::chrono::duration<double>(probe_end - probe_start).count();
-    probe_seconds_ += sample.probe_seconds;
-    return sample;
+    double total = std::chrono::duration<double>(probe_end - probe_start).count();
+    // Bill the stepping-thread share (cheap probes + journal drain + snapshot
+    // sync) to this sample; the worker's share arrives with the collect
+    // callback. Stall time is billed to neither — it is metered separately.
+    double inline_share = std::max(0.0, total - stalled);
+    result.samples[index].probe_seconds += inline_share;
+    probe_seconds_ += inline_share;
+    return total;
 }
 
 void ScenarioRunner::evaluate_expectations(RunResult& result) const {
@@ -198,6 +243,30 @@ RunResult ScenarioRunner::run() {
     RunResult result;
     TraceHasher hasher;
     Probes cadence_probes = parse_probes(spec_);
+
+    // Resolve the probe schedule. automatic opts into the pipeline exactly
+    // when cadence sampling requests probes worth taking off-thread; a
+    // final-only run (sample_every == 0) or a cheap cadence keeps the
+    // simpler inline path.
+    bool heavy_cadence =
+        cadence_probes.connected || cadence_probes.lambda2 || cadence_probes.stretch;
+    bool use_async =
+        probe_mode_ == ProbeMode::async_pipeline ||
+        (probe_mode_ == ProbeMode::automatic && spec_.sample_every != 0 && heavy_cadence);
+    std::optional<ProbePipeline> pipeline;
+    if (use_async)
+        pipeline.emplace([&result, this](const ProbeJob& job) {
+            MetricSample& sample = result.samples[job.sample_index];
+            if (job.want_components) sample.components = job.components;
+            if (job.want_lambda2) sample.lambda2 = job.lambda2;
+            if (job.want_stretch) sample.stretch = job.stretch;
+            sample.probe_seconds += job.worker_seconds;
+            probe_seconds_ += job.worker_seconds;
+        });
+    // Stepping-thread time consumed by sampling inside the timed loop
+    // (inline probes, publish work, stall waits) — subtracted from
+    // `seconds` so steps_per_sec measures adversary+healer stepping only.
+    double loop_probe_seconds = 0.0;
     auto t0 = std::chrono::steady_clock::now();
 
     std::size_t global_step = 0;
@@ -289,30 +358,54 @@ RunResult ScenarioRunner::run() {
             if (spec_.sample_every != 0 && global_step % spec_.sample_every == 0 &&
                 global_step != spec_.total_steps()) {
                 flush_batch();  // probes always observe a healed graph
-                result.samples.push_back(
-                    take_sample(global_step, phase.name, cadence_probes));
+                if (use_async) {
+                    loop_probe_seconds += sample_async(*pipeline, result, global_step,
+                                                       phase.name, cadence_probes);
+                } else {
+                    result.samples.push_back(
+                        take_sample(global_step, phase.name, cadence_probes));
+                    loop_probe_seconds += result.samples.back().probe_seconds;
+                }
             }
         }
         flush_batch();  // batches never span phases
+        // Phase boundaries are pipeline join points: every sample of the
+        // phase is complete before the next phase steps.
+        if (use_async) loop_probe_seconds += pipeline->drain();
         result.phases.push_back(std::move(stats));
     }
 
     auto t1 = std::chrono::steady_clock::now();
-    // Cadence samples run inside the timed loop; subtract their probe time
-    // so `seconds` (and steps_per_sec) measure adversary+healer stepping
-    // only. probe_seconds_ holds exactly the cadence probe cost here — the
-    // final sample is taken after this point.
+    // Cadence samples run inside the timed loop; subtract the sampling time
+    // the stepping thread itself spent (inline probes, or publish + stall
+    // under the pipeline) so `seconds` (and steps_per_sec) measure
+    // adversary+healer stepping only. The final sample is taken after this
+    // point. Worker probe time overlaps stepping and is billed to
+    // probe_seconds alone.
     result.seconds =
-        std::chrono::duration<double>(t1 - t0).count() - probe_seconds_;
+        std::chrono::duration<double>(t1 - t0).count() - loop_probe_seconds;
     if (result.seconds < 0.0) result.seconds = 0.0;  // clock-resolution guard
     result.steps_done = global_step;
 
     std::string last_phase = spec_.phases.empty() ? "" : spec_.phases.back().name;
-    result.final_sample = take_sample(global_step, last_phase, final_probes());
-    result.samples.push_back(result.final_sample);
+    if (use_async) {
+        // The final sample rides the pipeline too: the worker engine's
+        // lambda2 warm-start chain must see the full snapshot sequence the
+        // inline engine would (cadence samples then final), or the modes'
+        // values could diverge at the last reading.
+        sample_async(*pipeline, result, global_step, last_phase, final_probes());
+        pipeline->drain();
+        result.final_sample = result.samples.back();
+        result.probe_stall_seconds = pipeline->stall_seconds();
+        result.probe_rebuilds = pipeline->rebuilds();
+        result.probe_patched_events = pipeline->patched_events();
+    } else {
+        result.final_sample = take_sample(global_step, last_phase, final_probes());
+        result.samples.push_back(result.final_sample);
+        result.probe_rebuilds = probe_engine_.probe_rebuilds();
+        result.probe_patched_events = probe_engine_.probe_patched_events();
+    }
     result.probe_seconds = probe_seconds_;
-    result.probe_rebuilds = probe_engine_.probe_rebuilds();
-    result.probe_patched_events = probe_engine_.probe_patched_events();
     result.trace_hash = hasher.value();
     result.fingerprint = graph_fingerprint(session_.current());
     evaluate_expectations(result);

@@ -59,6 +59,21 @@ public:
 
     /// y = L_norm * x where L_norm = I - D^{-1/2} A D^{-1/2} is the
     /// normalized Laplacian of the snapshot. x and y must have size() entries.
+    ///
+    /// Blocked kernel: the apply first forms z = D^{-1/2} x into `scaled`
+    /// (one contiguous, trivially vectorizable pass), then accumulates z
+    /// over each adjacency row through four independent accumulators, so
+    /// the gather loop carries no serial dependency chain and the edge pass
+    /// touches one array instead of two. The summation order is fixed by
+    /// the snapshot layout — never by thread count — so probe values are
+    /// identical inline and off-thread. `scaled` is caller-owned scratch
+    /// (resized here, reused across applies by the probe engine).
+    void apply_normalized_laplacian(const std::vector<double>& x, std::vector<double>& y,
+                                    std::vector<double>& scaled) const;
+
+    /// Scratchless convenience overload (tests, one-shot callers): uses an
+    /// internal scratch buffer, so it is NOT safe to call concurrently on
+    /// one snapshot. The hot paths pass their own scratch above.
     void apply_normalized_laplacian(const std::vector<double>& x,
                                     std::vector<double>& y) const;
 
@@ -85,6 +100,8 @@ private:
     std::vector<std::uint32_t> old_to_new_;
     std::vector<std::uint8_t> row_state_;
     std::vector<graph::NodeId> added_;
+    /// Scratch of the scratchless apply overload only (see above).
+    mutable std::vector<double> scaled_;
 };
 
 }  // namespace xheal::spectral

@@ -18,6 +18,13 @@ public:
 
     std::size_t size() const { return n_; }
 
+    /// Re-shape to an n x n zero matrix, reusing the existing allocation
+    /// when capacity suffices (scratch-matrix reuse across probe samples).
+    void reset(std::size_t n) {
+        n_ = n;
+        data_.assign(n * n, 0.0);
+    }
+
     double& at(std::size_t i, std::size_t j) {
         XHEAL_EXPECTS(i < n_ && j < n_);
         return data_[i * n_ + j];

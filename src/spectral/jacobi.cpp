@@ -69,11 +69,17 @@ void run_jacobi(DenseMatrix& m, DenseMatrix* vectors, double tolerance, int max_
 }  // namespace
 
 std::vector<double> jacobi_eigenvalues(DenseMatrix m, double tolerance, int max_sweeps) {
+    std::vector<double> values;
+    jacobi_eigenvalues_inplace(m, values, tolerance, max_sweeps);
+    return values;
+}
+
+void jacobi_eigenvalues_inplace(DenseMatrix& m, std::vector<double>& values,
+                                double tolerance, int max_sweeps) {
     run_jacobi(m, nullptr, tolerance, max_sweeps);
-    std::vector<double> values(m.size());
+    values.resize(m.size());
     for (std::size_t i = 0; i < m.size(); ++i) values[i] = m.at(i, i);
     std::sort(values.begin(), values.end());
-    return values;
 }
 
 EigenDecomposition jacobi_eigen(DenseMatrix m, double tolerance, int max_sweeps) {

@@ -25,6 +25,13 @@ struct EigenDecomposition {
 std::vector<double> jacobi_eigenvalues(DenseMatrix m, double tolerance = 1e-12,
                                        int max_sweeps = 100);
 
+/// In-place variant for scratch-reusing callers (the probe engine's dense
+/// fallback): `m` is destroyed — rotated to its diagonal — and the
+/// ascending eigenvalues land in `values` (resized; allocation-free once
+/// at capacity). Same requirements and results as jacobi_eigenvalues.
+void jacobi_eigenvalues_inplace(DenseMatrix& m, std::vector<double>& values,
+                                double tolerance = 1e-12, int max_sweeps = 100);
+
 /// Eigenvalues and eigenvectors. Same requirements as jacobi_eigenvalues.
 EigenDecomposition jacobi_eigen(DenseMatrix m, double tolerance = 1e-12,
                                 int max_sweeps = 100);

@@ -5,7 +5,6 @@
 
 #include "spectral/jacobi.hpp"
 #include "spectral/lanczos.hpp"
-#include "spectral/laplacian.hpp"
 
 namespace xheal::spectral {
 
@@ -66,24 +65,82 @@ void IncrementalSnapshot::sync(const Graph& g) {
     pending_.clear();
 }
 
-double ProbeEngine::lambda2(const Graph& g, std::uint64_t seed) {
-    if (g.node_count() < 2) return 0.0;
-    if (g.node_count() <= dense_limit_) return lambda2_dense(g);
-    return lambda2_sparse_impl(g, seed, probe_lanczos_steps, probe_lambda2_tol,
-                               /*warm=*/true);
-}
-
-double ProbeEngine::lambda2_dense(const Graph& g) {
-    if (g.node_count() < 2) return 0.0;
-    auto values = jacobi_eigenvalues(laplacian_dense(g, LaplacianKind::normalized));
-    return std::max(0.0, values[1]);
-}
-
 void ProbeEngine::ensure_snapshot(const Graph& g) {
     if (batch_graph_ == &g && snapshot_valid_) return;
     if (batch_graph_ != &g) snap_.invalidate();  // un-batched probe: rebuild
     snap_.sync(g);
     snapshot_valid_ = batch_graph_ == &g;
+}
+
+// ----- lambda2 -----
+
+double ProbeEngine::lambda2(const Graph& g, std::uint64_t seed) {
+    if (g.node_count() < 2) return 0.0;
+    ensure_snapshot(g);
+    return lambda2_csr(snap_.csr(), seed);
+}
+
+double ProbeEngine::lambda2_csr(const CsrGraph& csr, std::uint64_t seed) {
+    if (csr.size() < 2) return 0.0;
+    if (csr.size() <= dense_limit_) return lambda2_dense_csr(csr);
+    return lambda2_sparse_csr(csr, seed, probe_lanczos_steps, probe_lambda2_tol,
+                              /*warm=*/true);
+}
+
+double ProbeEngine::lambda2_dense(const Graph& g) {
+    if (g.node_count() < 2) return 0.0;
+    ensure_snapshot(g);
+    return lambda2_dense_csr(snap_.csr());
+}
+
+double ProbeEngine::lambda2_dense_csr(const CsrGraph& csr) {
+    std::size_t n = csr.size();
+    if (n < 2) return 0.0;
+    // Materialize I - D^{-1/2} A D^{-1/2} straight from the snapshot into
+    // the reused scratch matrix (isolated vertices contribute zero rows,
+    // matching laplacian_dense's convention). The product isd_i * isd_j is
+    // commutative, so the matrix is exactly symmetric by construction.
+    dense_scratch_.reset(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        double isd_i = csr.inv_sqrt_deg(i);
+        if (isd_i == 0.0) continue;  // isolated vertex: zero row
+        dense_scratch_.at(i, i) = 1.0;
+        for (std::uint32_t j : csr.row(i))
+            dense_scratch_.at(i, j) = -isd_i * csr.inv_sqrt_deg(j);
+    }
+    jacobi_eigenvalues_inplace(dense_scratch_, dense_values_);
+    return std::max(0.0, dense_values_[1]);
+}
+
+double ProbeEngine::lambda2_sparse_csr(const CsrGraph& csr, std::uint64_t seed,
+                                       std::size_t max_iterations, double tolerance,
+                                       bool warm) {
+    if (csr.size() < 2) return 0.0;
+    if (count_components(csr, dist_, queue_) > 1) return 0.0;
+
+    csr.normalized_kernel(kernel_);
+    util::Rng rng(seed);
+    LinearOperator apply = [this, &csr](const std::vector<double>& x,
+                                        std::vector<double>& y) {
+        csr.apply_normalized_laplacian(x, y, scaled_);
+    };
+    const std::vector<double>* warm_start = warm ? build_warm_start(csr) : nullptr;
+    auto result = lanczos_smallest(apply, csr.size(), kernel_, rng, max_iterations,
+                                   tolerance, warm_start);
+    if (warm) {
+        warm_ids_.assign(csr.nodes().begin(), csr.nodes().end());
+        warm_vec_ = std::move(result.vector);
+        has_warm_ = true;
+    }
+    return std::max(0.0, result.value);
+}
+
+double ProbeEngine::lambda2_sparse(const Graph& g, std::uint64_t seed,
+                                   std::size_t max_iterations, double tolerance) {
+    if (g.node_count() < 2) return 0.0;
+    ensure_snapshot(g);
+    return lambda2_sparse_csr(snap_.csr(), seed, max_iterations, tolerance,
+                              /*warm=*/false);
 }
 
 const std::vector<double>* ProbeEngine::build_warm_start(const CsrGraph& csr) {
@@ -105,39 +162,18 @@ const std::vector<double>* ProbeEngine::build_warm_start(const CsrGraph& csr) {
     return matched * 2 >= n ? &start_ : nullptr;
 }
 
-double ProbeEngine::lambda2_sparse_impl(const Graph& g, std::uint64_t seed,
-                                        std::size_t max_iterations, double tolerance,
-                                        bool warm) {
-    if (g.node_count() < 2) return 0.0;
-    ensure_snapshot(g);
-    const CsrGraph& csr = snap_.csr();
-    if (count_components(csr, dist_, queue_) > 1) return 0.0;
-
-    csr.normalized_kernel(kernel_);
-    util::Rng rng(seed);
-    LinearOperator apply = [&csr](const std::vector<double>& x, std::vector<double>& y) {
-        csr.apply_normalized_laplacian(x, y);
-    };
-    const std::vector<double>* warm_start = warm ? build_warm_start(csr) : nullptr;
-    auto result = lanczos_smallest(apply, csr.size(), kernel_, rng, max_iterations,
-                                   tolerance, warm_start);
-    if (warm) {
-        warm_ids_.assign(csr.nodes().begin(), csr.nodes().end());
-        warm_vec_ = std::move(result.vector);
-        has_warm_ = true;
-    }
-    return std::max(0.0, result.value);
-}
-
-double ProbeEngine::lambda2_sparse(const Graph& g, std::uint64_t seed,
-                                   std::size_t max_iterations, double tolerance) {
-    return lambda2_sparse_impl(g, seed, max_iterations, tolerance, /*warm=*/false);
-}
+// ----- components -----
 
 std::size_t ProbeEngine::component_count(const Graph& g) {
     ensure_snapshot(g);
-    return count_components(snap_.csr(), dist_, queue_);
+    return component_count_csr(snap_.csr());
 }
+
+std::size_t ProbeEngine::component_count_csr(const CsrGraph& csr) {
+    return count_components(csr, dist_, queue_);
+}
+
+// ----- stretch -----
 
 void ProbeEngine::bfs(const CsrGraph& csr, std::uint32_t src,
                       std::vector<std::uint32_t>& dist) {
@@ -160,29 +196,43 @@ void ProbeEngine::bfs(const CsrGraph& csr, std::uint32_t src,
 double ProbeEngine::sampled_stretch(const Graph& g, const Graph& ref,
                                     std::size_t budget, util::Rng& rng) {
     ensure_snapshot(g);
-    const CsrGraph& csr = snap_.csr();
-    std::size_t n = csr.size();
-    if (n < 2) return 1.0;
     // The reference only follows the incremental protocol when the caller
     // feeds note_reference(); otherwise fall back to rebuild-per-call.
     if (!incremental_) ref_snap_.invalidate();
     ref_snap_.sync(ref);
-    const CsrGraph& ref_csr = ref_snap_.csr();
+    return sampled_stretch_csr(snap_.csr(), ref_snap_.csr(), budget, rng);
+}
 
+double ProbeEngine::sampled_stretch_csr(const CsrGraph& csr, const CsrGraph& ref_csr,
+                                        std::size_t budget, util::Rng& rng) {
+    sample_stretch_sources(csr, budget, rng, sources_);
+    return stretch_over_sources(csr, ref_csr, sources_);
+}
+
+void ProbeEngine::sample_stretch_sources(const CsrGraph& csr, std::size_t budget,
+                                         util::Rng& rng, std::vector<NodeId>& out) {
+    std::size_t n = csr.size();
+    out.clear();
+    if (n < 2) return;  // stretch degenerates to 1.0; draw nothing
     // Sample `budget` distinct sources by partial Fisher-Yates over the live
     // pool; budget >= n degenerates to the exact all-sources sweep.
-    sources_.assign(csr.nodes().begin(), csr.nodes().end());
+    out.assign(csr.nodes().begin(), csr.nodes().end());
     std::size_t k = std::min(budget, n);
     if (k < n) {
         for (std::size_t i = 0; i < k; ++i) {
             std::size_t j = i + rng.index(n - i);
-            std::swap(sources_[i], sources_[j]);
+            std::swap(out[i], out[j]);
         }
-        sources_.resize(k);
+        out.resize(k);
     }
+}
+
+double ProbeEngine::stretch_over_sources(const CsrGraph& csr, const CsrGraph& ref_csr,
+                                         const std::vector<NodeId>& sources) {
+    if (csr.size() < 2) return 1.0;
 
     double worst = 0.0;
-    for (NodeId s : sources_) {
+    for (NodeId s : sources) {
         std::uint32_t gi = csr.index_of(s);
         std::uint32_t ri = ref_csr.index_of(s);
         if (ri == CsrGraph::npos) continue;  // source unknown to the reference

@@ -36,6 +36,7 @@
 
 #include "graph/graph.hpp"
 #include "spectral/csr.hpp"
+#include "spectral/dense_matrix.hpp"
 #include "util/rng.hpp"
 
 namespace xheal::spectral {
@@ -142,6 +143,44 @@ public:
     double sampled_stretch(const graph::Graph& g, const graph::Graph& ref,
                            std::size_t budget, util::Rng& rng);
 
+    // ----- CSR-level probe entry points -----
+    //
+    // The same probes over caller-held snapshots: the async probe pipeline
+    // (scenario/probe_pipeline.hpp) double-buffers IncrementalSnapshots
+    // outside the engine and hands the frozen CSR arrays here, while the
+    // engine contributes its scratch buffers and the lambda2 warm-start
+    // chain. The graph-level probes above are thin wrappers that sync the
+    // engine's own snapshot first and then call these — both paths run the
+    // identical code on byte-identical arrays (csr_patch_test's patch ==
+    // build guarantee), which is what makes inline and off-thread probing
+    // produce identical MetricSample values.
+
+    /// lambda2 of a frozen snapshot; auto-selects the dense scratch-reusing
+    /// Jacobi path at or below dense_limit() rows and warm-started budgeted
+    /// Lanczos above it.
+    double lambda2_csr(const CsrGraph& csr, std::uint64_t seed = 12345);
+
+    /// Connected-component count of a frozen snapshot.
+    std::size_t component_count_csr(const CsrGraph& csr);
+
+    /// Sampled stretch over frozen snapshots of g and the reference.
+    double sampled_stretch_csr(const CsrGraph& csr, const CsrGraph& ref_csr,
+                               std::size_t budget, util::Rng& rng);
+
+    /// The stretch probe's source-sampling half: min(budget, n) distinct
+    /// sources by partial Fisher-Yates over the snapshot's live pool (no
+    /// draws when budget >= n — the exact all-sources sweep — or n < 2).
+    /// Factored out so the async pipeline can draw sources on the stepping
+    /// thread — keeping the probe stream's draw order identical to inline
+    /// sampling — while the BFS sweeps run off-thread.
+    static void sample_stretch_sources(const CsrGraph& csr, std::size_t budget,
+                                       util::Rng& rng,
+                                       std::vector<graph::NodeId>& out);
+
+    /// The BFS half of the stretch probe over a pre-sampled source list.
+    double stretch_over_sources(const CsrGraph& csr, const CsrGraph& ref_csr,
+                                const std::vector<graph::NodeId>& sources);
+
     /// Batch scope: between begin_sample(g) and end_sample(), the CSR
     /// snapshot of g is synced lazily on first use and then shared by every
     /// probe in the batch (the caller vouches that g does not mutate).
@@ -192,9 +231,13 @@ private:
 
     /// lambda2 via CSR Lanczos, optionally warm-started from (and feeding)
     /// the previous auto solve's Ritz vector.
-    double lambda2_sparse_impl(const graph::Graph& g, std::uint64_t seed,
-                               std::size_t max_iterations, double tolerance,
-                               bool warm);
+    double lambda2_sparse_csr(const CsrGraph& csr, std::uint64_t seed,
+                              std::size_t max_iterations, double tolerance,
+                              bool warm);
+
+    /// Dense Jacobi over the snapshot's normalized Laplacian, materialized
+    /// into the reused scratch matrix (no per-call allocation at capacity).
+    double lambda2_dense_csr(const CsrGraph& csr);
 
     /// Scatter the stored Ritz vector onto csr's dense indexing (zeros for
     /// rows with no stored entry). Returns null when absent or fewer than
@@ -221,6 +264,13 @@ private:
     std::vector<double> warm_vec_;
     std::vector<double> start_;
     bool has_warm_ = false;
+    // Dense-path scratch: work matrix + eigenvalue buffer, reused across
+    // samples so the small-graph fallback stops re-allocating O(n^2) per
+    // probe. `scaled_` is the spmv's D^{-1/2}x pass, owned here so two
+    // engines can probe two snapshots concurrently.
+    DenseMatrix dense_scratch_;
+    std::vector<double> dense_values_;
+    std::vector<double> scaled_;
 };
 
 }  // namespace xheal::spectral

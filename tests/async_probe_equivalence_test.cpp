@@ -1,0 +1,131 @@
+// Inline vs async probe equivalence: ProbeMode must be invisible in every
+// deterministic output. Both paths execute the same CSR-level probe code
+// on byte-identical snapshot arrays, the lambda2 warm-start chain sees the
+// same snapshot sequence (the final sample rides the pipeline too), and
+// the stretch source draws happen on the stepping thread in publish order
+// — so each MetricSample field must match EXACTLY (bitwise for doubles),
+// not merely within tolerance. Timing fields are the only exception.
+//
+// These tests are also the TSan workload for the probe pipeline: the CI
+// tsan job runs them under -fsanitize=thread, where the double-buffer
+// handoff (acquire/release on the slot state) is exercised for real.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "spectral/probes.hpp"
+
+namespace xheal {
+namespace {
+
+std::string spec_path(const std::string& file) {
+    return std::string(XHEAL_REPO_DIR) + "/scenarios/" + file;
+}
+
+// Bitwise double equality that treats NaN ("not sampled") as equal to NaN.
+// EXPECT_EQ on NaN always fails; tolerance compares would paper over a
+// probe that computed a slightly different value on the worker thread.
+::testing::AssertionResult bit_equal(const char* a_expr, const char* b_expr,
+                                     double a, double b) {
+    std::uint64_t ab, bb;
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::memcpy(&ab, &a, sizeof a);
+    std::memcpy(&bb, &b, sizeof b);
+    if (ab == bb || (std::isnan(a) && std::isnan(b)))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a_expr << " = " << a << " vs " << b_expr << " = " << b
+           << " (bit patterns differ)";
+}
+
+scenario::RunResult run_with_mode(const scenario::ScenarioSpec& spec,
+                                  scenario::ProbeMode mode) {
+    scenario::ScenarioRunner runner(spec);
+    runner.set_probe_mode(mode);
+    return runner.run();
+}
+
+void expect_identical(const scenario::RunResult& inline_r,
+                      const scenario::RunResult& async_r) {
+    EXPECT_EQ(inline_r.trace_hash, async_r.trace_hash);
+    EXPECT_EQ(inline_r.fingerprint, async_r.fingerprint);
+    EXPECT_EQ(inline_r.steps_done, async_r.steps_done);
+    EXPECT_EQ(inline_r.failures, async_r.failures);
+    ASSERT_EQ(inline_r.samples.size(), async_r.samples.size());
+    for (std::size_t i = 0; i < inline_r.samples.size(); ++i) {
+        const auto& a = inline_r.samples[i];
+        const auto& b = async_r.samples[i];
+        SCOPED_TRACE("sample " + std::to_string(i) + " @step " +
+                     std::to_string(a.step));
+        EXPECT_EQ(a.step, b.step);
+        EXPECT_EQ(a.phase, b.phase);
+        EXPECT_EQ(a.nodes, b.nodes);
+        EXPECT_EQ(a.edges, b.edges);
+        EXPECT_EQ(a.deletions, b.deletions);
+        EXPECT_EQ(a.insertions, b.insertions);
+        EXPECT_EQ(a.components, b.components);
+        EXPECT_EQ(a.max_degree, b.max_degree);
+        EXPECT_PRED_FORMAT2(bit_equal, a.max_degree_ratio, b.max_degree_ratio);
+        EXPECT_PRED_FORMAT2(bit_equal, a.mean_degree_ratio, b.mean_degree_ratio);
+        EXPECT_PRED_FORMAT2(bit_equal, a.worst_slack_ratio, b.worst_slack_ratio);
+        EXPECT_PRED_FORMAT2(bit_equal, a.expansion, b.expansion);
+        EXPECT_PRED_FORMAT2(bit_equal, a.lambda2, b.lambda2);
+        EXPECT_PRED_FORMAT2(bit_equal, a.stretch, b.stretch);
+    }
+    // The final sample is the last cadence row in both modes (in async mode
+    // it rode the pipeline, keeping the worker's warm-start chain intact).
+    EXPECT_EQ(inline_r.final_sample.step, async_r.final_sample.step);
+    EXPECT_PRED_FORMAT2(bit_equal, inline_r.final_sample.lambda2,
+                        async_r.final_sample.lambda2);
+}
+
+// The full heavy probe set (connected + lambda2 + stretch at a 30-step
+// cadence): every pipeline surface is live, including the reference
+// snapshot the stretch probe patches and the worker's lambda2 warm chain.
+TEST(AsyncProbeEquivalence, P2pChurnAllProbes) {
+    auto spec = scenario::ScenarioSpec::parse_file(spec_path("p2p_churn.scn"));
+    auto inline_r = run_with_mode(spec, scenario::ProbeMode::inline_only);
+    auto async_r = run_with_mode(spec, scenario::ProbeMode::async_pipeline);
+    expect_identical(inline_r, async_r);
+    EXPECT_GT(async_r.samples.size(), 3u);
+
+    // Stall accounting is async-only and disjoint from probe_seconds.
+    EXPECT_EQ(inline_r.probe_stall_seconds, 0.0);
+    EXPECT_GE(async_r.probe_stall_seconds, 0.0);
+}
+
+// Components-only cadence (the common cheap case): the worker runs just
+// the BFS; degree ratios stay inline. automatic must resolve to the
+// pipeline here, and its values must equal the forced-inline run's.
+TEST(AsyncProbeEquivalence, PhasedChurnAutomaticResolvesAsync) {
+    auto spec = scenario::ScenarioSpec::parse_file(spec_path("phased_churn.scn"));
+    scenario::ScenarioRunner runner(spec);
+    EXPECT_EQ(runner.probe_mode(), scenario::ProbeMode::automatic);
+    auto auto_r = runner.run();
+    auto inline_r = run_with_mode(spec, scenario::ProbeMode::inline_only);
+    expect_identical(inline_r, auto_r);
+}
+
+// Warm-start accuracy pin: the async worker's warm-started lambda2 on the
+// final healed graph must agree with a cold fresh-engine solve to probe
+// tolerance. Guards against the warm chain drifting onto a stale Ritz
+// vector while still matching inline (which would share the bug).
+TEST(AsyncProbeEquivalence, WarmStartAccuracyPinned) {
+    auto spec = scenario::ScenarioSpec::parse_file(spec_path("p2p_churn.scn"));
+    scenario::ScenarioRunner runner(spec);
+    runner.set_probe_mode(scenario::ProbeMode::async_pipeline);
+    auto result = runner.run();
+    ASSERT_FALSE(std::isnan(result.final_sample.lambda2));
+
+    spectral::ProbeEngine cold;
+    double exact = cold.lambda2(runner.session().current());
+    EXPECT_NEAR(result.final_sample.lambda2, exact, 1e-2);
+}
+
+}  // namespace
+}  // namespace xheal

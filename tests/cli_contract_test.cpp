@@ -135,8 +135,12 @@ TEST_F(CliContract, BatchExitCodes) {
     std::ifstream report(json);
     std::string body((std::istreambuf_iterator<char>(report)),
                      std::istreambuf_iterator<char>());
-    EXPECT_NE(body.find("\"schema\": \"xheal-batch-v1\""), std::string::npos);
+    EXPECT_NE(body.find("\"schema\": \"xheal-batch-v2\""), std::string::npos);
+    EXPECT_NE(body.find("\"jobs\": 1"), std::string::npos);
     EXPECT_NE(body.find("\"trace_hash\""), std::string::npos);
+
+    // --jobs routes through the worker pool; results (and exit code) match.
+    EXPECT_EQ(run_cli("batch " + dir + " --jobs 4"), 0);
 
     // One FAIL spec in the directory: verdict failure.
     std::ofstream(dir + "/bad.scn") << kFailingSpec;

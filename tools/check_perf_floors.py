@@ -15,6 +15,16 @@ but absent from the floors file are listed as unguarded; scenarios named
 with --only that are missing from the report are an error (the guard must
 never silently pass because the run it guards did not happen).
 
+Parallel batch reports (xheal-batch-v2 and later) carry a report-level
+"jobs" count; reports without one (run reports, v1 batch reports) count as
+jobs=1. Baselines were pinned at a specific worker count — a machine
+running N specs concurrently shows per-spec throughput jitter that has
+nothing to do with code regressions — so every baseline carries its own
+"jobs" key (default 1) and is only enforced like-for-like: when the
+report's jobs differs from the baseline's, the scenario is skipped with a
+note. Naming a skipped scenario with --only is an error, same as a
+missing row: the guard must not silently pass on a mismatched run.
+
 Usage:
     check_perf_floors.py BENCH_scenarios.json [--floors perf_floors.json]
                          [--only scenario ...]
@@ -59,6 +69,7 @@ def main() -> int:
     tolerance = float(floors.get("tolerance", 2.0))
     grace = float(floors.get("probe_ms_grace", 0.0))
     baselines = floors.get("scenarios", {})
+    report_jobs = int(bench.get("jobs", 1))
 
     rows = {row.get("scenario"): row for row in bench.get("results", [])}
     if not rows:
@@ -71,7 +82,8 @@ def main() -> int:
     unguarded = sorted(name for name in rows if name not in baselines)
 
     print(f"perf floors: {args.bench} vs {args.floors} "
-          f"(tolerance {tolerance:g}x, probe grace {grace:g} ms)")
+          f"(tolerance {tolerance:g}x, probe grace {grace:g} ms, "
+          f"report jobs {report_jobs})")
     for name in selected:
         base = baselines.get(name)
         if base is None:
@@ -86,6 +98,18 @@ def main() -> int:
                                 f"happen")
             else:
                 print(f"  - {name:<16} not in this report (skipped)")
+            continue
+        base_jobs = int(base.get("jobs", 1))
+        if base_jobs != report_jobs:
+            if args.only:
+                failures.append(
+                    f"{name}: baseline pinned at jobs={base_jobs} but the "
+                    f"report ran at jobs={report_jobs} — not a like-for-like "
+                    f"comparison, and --only demands this scenario be "
+                    f"guarded")
+            else:
+                print(f"  - {name:<16} baseline jobs={base_jobs}, report "
+                      f"jobs={report_jobs} (skipped: not like-for-like)")
             continue
 
         sps = float(row.get("steps_per_sec", 0.0))

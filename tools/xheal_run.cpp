@@ -1,21 +1,28 @@
 // xheal_run — the one CLI driver for declarative scenarios.
 //
 //   xheal_run run <spec.scn> [more specs...] [--trace FILE] [--json FILE]
-//             [--max-steps N]
+//             [--max-steps N] [--probe-mode auto|inline|async]
 //       Execute each spec's phase schedule; print per-phase accounting, the
 //       sampled metric series, and a greppable "VERDICT scenario-<name>
 //       PASS|FAIL" line per spec (FAIL when an `expect` clause is violated).
 //       --trace (single spec only) writes the deterministic JSONL event
 //       trace; --json appends a BENCH_scenarios.json steps/sec + probe-cost
 //       report; --max-steps truncates the schedule after N total steps (CI
-//       smoke runs of large specs such as dex_scale.scn).
+//       smoke runs of large specs such as dex_scale.scn); --probe-mode
+//       forces the metric-probe schedule (auto = off-thread pipeline when
+//       cadence sampling carries heavy probes; probe values are identical
+//       across modes, only timing differs).
 //   xheal_run batch <dir> [--healer KIND] [--json FILE] [--max-steps N]
+//             [--jobs N] [--probe-mode auto|inline|async]
 //       Run every *.scn in <dir> (sorted by filename, so reports are
 //       deterministic) and emit one aggregated JSON report: per-spec
 //       verdict, stream hash, final-graph fingerprint, stepping and probe
 //       throughput. --healer overrides every spec's healer kind — the
 //       tournament mode: the same schedule directory scored against
-//       different healers produces comparable hash/metric rows.
+//       different healers produces comparable hash/metric rows. --jobs runs
+//       the specs on a fixed pool of N worker threads; every deterministic
+//       field of the report (verdicts, hashes, fingerprints, metric values)
+//       is byte-identical at any --jobs value — only timing varies.
 //   xheal_run replay <spec.scn> <trace.jsonl>
 //       Re-apply a recorded trace against a fresh session from the same
 //       spec and verify trace hash + final-graph fingerprint byte-for-byte.
@@ -55,6 +62,7 @@
 #include <vector>
 
 #include "scenario/runner.hpp"
+#include "trace_tools/batch.hpp"
 #include "trace_tools/diff.hpp"
 #include "trace_tools/fuzz.hpp"
 #include "trace_tools/shrink.hpp"
@@ -67,9 +75,9 @@ namespace {
 int usage() {
     std::cerr << "usage:\n"
               << "  xheal_run run <spec.scn>... [--trace FILE] [--json FILE] "
-                 "[--max-steps N]\n"
+                 "[--max-steps N] [--probe-mode auto|inline|async]\n"
               << "  xheal_run batch <dir> [--healer KIND] [--json FILE] "
-                 "[--max-steps N]\n"
+                 "[--max-steps N] [--jobs N] [--probe-mode auto|inline|async]\n"
               << "  xheal_run replay <spec.scn> <trace.jsonl>\n"
               << "  xheal_run print <spec.scn>\n"
               << "  xheal_run list\n"
@@ -101,6 +109,15 @@ bool parse_count(const std::string& text, std::size_t& out) {
         return false;
     }
     return consumed == text.size() && !text.empty() && text[0] != '-';
+}
+
+/// --probe-mode values: auto (pipeline when worthwhile), inline, async.
+bool parse_probe_mode(const std::string& text, scenario::ProbeMode& out) {
+    if (text == "auto") out = scenario::ProbeMode::automatic;
+    else if (text == "inline") out = scenario::ProbeMode::inline_only;
+    else if (text == "async") out = scenario::ProbeMode::async_pipeline;
+    else return false;
+    return true;
 }
 
 /// Strict whole-string finite-double parse ("0.5x" and "nan" are rejected,
@@ -159,6 +176,7 @@ struct JsonRow {
     double seconds = 0.0;
     double steps_per_sec = 0.0;
     double probe_seconds = 0.0;
+    double probe_stall_seconds = 0.0;
     std::size_t samples = 0;
     std::uint64_t probe_rebuilds = 0;
     std::uint64_t probe_patched_events = 0;
@@ -171,10 +189,11 @@ int write_json(const std::string& path, const std::vector<JsonRow>& rows) {
         std::cerr << "cannot open " << path << "\n";
         return 1;
     }
-    out << "{\n  \"schema\": \"xheal-bench-scenarios-v2\",\n"
+    out << "{\n  \"schema\": \"xheal-bench-scenarios-v3\",\n"
         << "  \"note\": \"scenario engine throughput (adversary+healer steps/sec) and "
            "probe cost (seconds spent in metric probes, ms per sample) per bundled "
-           "spec\",\n"
+           "spec; probe_stall_seconds is stepping time blocked on the async probe "
+           "worker (0 when probing inline)\",\n"
         << "  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         double probe_ms_per_sample =
@@ -187,6 +206,8 @@ int write_json(const std::string& path, const std::vector<JsonRow>& rows) {
             << ", \"steps_per_sec\": "
             << static_cast<std::uint64_t>(rows[i].steps_per_sec)
             << ", \"probe_seconds\": " << util::format_double(rows[i].probe_seconds, 6)
+            << ", \"probe_stall_seconds\": "
+            << util::format_double(rows[i].probe_stall_seconds, 6)
             << ", \"samples\": " << rows[i].samples
             << ", \"probe_ms_per_sample\": "
             << util::format_double(probe_ms_per_sample, 3)
@@ -217,6 +238,7 @@ int cmd_run(const std::vector<std::string>& args) {
     std::vector<std::string> spec_paths;
     std::string trace_path, json_path;
     std::size_t max_steps = 0;  // 0 = unlimited
+    scenario::ProbeMode probe_mode = scenario::ProbeMode::automatic;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--trace") {
             if (++i >= args.size()) return usage();
@@ -229,6 +251,13 @@ int cmd_run(const std::vector<std::string>& args) {
             if (!parse_count(args[i], max_steps) || max_steps == 0) {
                 std::cerr << "--max-steps needs a positive integer, got '" << args[i]
                           << "'\n";
+                return 2;
+            }
+        } else if (args[i] == "--probe-mode") {
+            if (++i >= args.size()) return usage();
+            if (!parse_probe_mode(args[i], probe_mode)) {
+                std::cerr << "--probe-mode needs auto, inline or async, got '"
+                          << args[i] << "'\n";
                 return 2;
             }
         } else {
@@ -247,6 +276,7 @@ int cmd_run(const std::vector<std::string>& args) {
         auto spec = scenario::ScenarioSpec::parse_file(path);
         truncate_schedule(spec, max_steps);
         scenario::ScenarioRunner runner(spec);
+        runner.set_probe_mode(probe_mode);
         auto result = runner.run();
 
         std::cout << "scenario " << spec.name << " (seed " << spec.seed << ", healer "
@@ -272,32 +302,13 @@ int cmd_run(const std::vector<std::string>& args) {
         }
         json_rows.push_back({spec.name, result.steps_done, result.events.size(),
                              result.seconds, result.steps_per_sec(),
-                             result.probe_seconds, result.samples.size(),
-                             result.probe_rebuilds, result.probe_patched_events,
-                             result.passed()});
+                             result.probe_seconds, result.probe_stall_seconds,
+                             result.samples.size(), result.probe_rebuilds,
+                             result.probe_patched_events, result.passed()});
     }
     if (!json_path.empty() && write_json(json_path, json_rows) != 0) return 1;
     return all_pass ? 0 : 1;
 }
-
-/// One spec's outcome inside a batch report. Timing fields are the only
-/// non-deterministic members — everything else (verdict, hashes, counts)
-/// must be identical across runs of the same directory.
-struct BatchRow {
-    std::string file;      ///< filename within the batch directory
-    std::string scenario;  ///< spec name (post-override)
-    std::string healer;    ///< effective healer kind
-    bool pass = false;
-    std::size_t steps = 0;
-    std::size_t events = 0;
-    std::uint64_t trace_hash = 0;
-    std::uint64_t fingerprint = 0;
-    double seconds = 0.0;
-    double steps_per_sec = 0.0;
-    double probe_seconds = 0.0;
-    std::size_t samples = 0;
-    std::vector<std::string> failures;
-};
 
 std::string json_escape(const std::string& text) {
     std::string out;
@@ -308,24 +319,29 @@ std::string json_escape(const std::string& text) {
     return out;
 }
 
+/// xheal-batch-v2: v1 plus a report-level "jobs" field (worker pool size —
+/// consumers enforcing perf floors compare like-for-like runs only) and a
+/// per-row "probe_stall_seconds". Every deterministic field is byte-stable
+/// across jobs values; v1 readers treat a missing "jobs" as 1.
 int write_batch_json(const std::string& path, const std::string& dir,
-                     const std::string& healer_override,
-                     const std::vector<BatchRow>& rows) {
+                     const std::string& healer_override, std::size_t jobs,
+                     const std::vector<trace_tools::BatchOutcome>& rows) {
     std::ofstream out(path);
     if (!out) {
         std::cerr << "cannot open " << path << "\n";
         return 1;
     }
-    out << "{\n  \"schema\": \"xheal-batch-v1\",\n"
+    out << "{\n  \"schema\": \"xheal-batch-v2\",\n"
         << "  \"note\": \"aggregated batch report: per-spec verdict, deterministic "
            "stream hash + final-graph fingerprint, and stepping/probe throughput; "
-           "hashes and verdicts are reproducible bit-for-bit, timing fields are "
-           "not\",\n"
+           "hashes and verdicts are reproducible bit-for-bit at any jobs count, "
+           "timing fields are not\",\n"
         << "  \"dir\": \"" << json_escape(dir) << "\",\n"
         << "  \"healer_override\": \"" << json_escape(healer_override) << "\",\n"
+        << "  \"jobs\": " << jobs << ",\n"
         << "  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
-        const BatchRow& r = rows[i];
+        const trace_tools::BatchOutcome& r = rows[i];
         double probe_ms_per_sample =
             r.samples > 0 ? r.probe_seconds * 1000.0 / static_cast<double>(r.samples)
                           : 0.0;
@@ -338,6 +354,8 @@ int write_batch_json(const std::string& path, const std::string& dir,
             << "\", \"seconds\": " << util::format_double(r.seconds, 6)
             << ", \"steps_per_sec\": " << static_cast<std::uint64_t>(r.steps_per_sec)
             << ", \"probe_seconds\": " << util::format_double(r.probe_seconds, 6)
+            << ", \"probe_stall_seconds\": "
+            << util::format_double(r.probe_stall_seconds, 6)
             << ", \"samples\": " << r.samples
             << ", \"probe_ms_per_sample\": " << util::format_double(probe_ms_per_sample, 3)
             << ", \"failures\": [";
@@ -353,6 +371,8 @@ int write_batch_json(const std::string& path, const std::string& dir,
 int cmd_batch(const std::vector<std::string>& args) {
     std::string dir, json_path, healer_override;
     std::size_t max_steps = 0;
+    std::size_t jobs = 1;
+    scenario::ProbeMode probe_mode = scenario::ProbeMode::automatic;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i] == "--json") {
             if (++i >= args.size()) return usage();
@@ -365,6 +385,20 @@ int cmd_batch(const std::vector<std::string>& args) {
             if (!parse_count(args[i], max_steps) || max_steps == 0) {
                 std::cerr << "--max-steps needs a positive integer, got '" << args[i]
                           << "'\n";
+                return 2;
+            }
+        } else if (args[i] == "--jobs") {
+            if (++i >= args.size()) return usage();
+            if (!parse_count(args[i], jobs) || jobs == 0) {
+                std::cerr << "--jobs needs a positive integer, got '" << args[i]
+                          << "'\n";
+                return 2;
+            }
+        } else if (args[i] == "--probe-mode") {
+            if (++i >= args.size()) return usage();
+            if (!parse_probe_mode(args[i], probe_mode)) {
+                std::cerr << "--probe-mode needs auto, inline or async, got '"
+                          << args[i] << "'\n";
                 return 2;
             }
         } else if (dir.empty()) {
@@ -393,8 +427,10 @@ int cmd_batch(const std::vector<std::string>& args) {
         return 2;
     }
 
-    bool all_pass = true;
-    std::vector<BatchRow> rows;
+    // Parse every spec on this thread so malformed files keep the usual
+    // exit-2 path (parse errors throw and are caught in main).
+    std::vector<trace_tools::BatchJob> batch_jobs;
+    batch_jobs.reserve(files.size());
     for (const std::string& file : files) {
         auto spec = scenario::ScenarioSpec::parse_file((fs::path(dir) / file).string());
         if (!healer_override.empty())
@@ -403,38 +439,34 @@ int cmd_batch(const std::vector<std::string>& args) {
             // contestant's tuning applied to another.
             spec.healer = scenario::ComponentSpec{healer_override, {}};
         truncate_schedule(spec, max_steps);
-        scenario::ScenarioRunner runner(spec);
-        auto result = runner.run();
+        batch_jobs.push_back({file, std::move(spec), probe_mode});
+    }
 
-        BatchRow row;
-        row.file = file;
-        row.scenario = spec.name;
-        row.healer = spec.healer.kind;
-        row.pass = result.passed();
-        row.steps = result.steps_done;
-        row.events = result.events.size();
-        row.trace_hash = result.trace_hash;
-        row.fingerprint = result.fingerprint;
-        row.seconds = result.seconds;
-        row.steps_per_sec = result.steps_per_sec();
-        row.probe_seconds = result.probe_seconds;
-        row.samples = result.samples.size();
-        row.failures = result.failures;
-        rows.push_back(std::move(row));
+    auto rows = trace_tools::run_batch(batch_jobs, jobs);
 
-        for (const auto& failure : result.failures)
-            std::cout << "expectation failed — " << spec.name << ": " << failure << "\n";
-        std::cout << "VERDICT batch-" << spec.name << " "
-                  << (result.passed() ? "PASS" : "FAIL") << " — " << file << ", healer "
-                  << spec.healer.kind << ", " << result.events.size() << " events, trace "
-                  << scenario::hex64(result.trace_hash) << ", fingerprint "
-                  << scenario::hex64(result.fingerprint) << "\n";
-        all_pass = all_pass && result.passed();
+    // A runner that threw (unknown healer kind, invariant breach at
+    // construction, ...) is an environment/usage error for the whole batch,
+    // same as before the worker pool existed.
+    for (const auto& r : rows)
+        if (r.errored) {
+            std::cerr << "error: " << r.error << "\n";
+            return 2;
+        }
+
+    bool all_pass = true;
+    for (const auto& r : rows) {
+        for (const auto& failure : r.failures)
+            std::cout << "expectation failed — " << r.scenario << ": " << failure << "\n";
+        std::cout << "VERDICT batch-" << r.scenario << " " << (r.pass ? "PASS" : "FAIL")
+                  << " — " << r.file << ", healer " << r.healer << ", " << r.events
+                  << " events, trace " << scenario::hex64(r.trace_hash)
+                  << ", fingerprint " << scenario::hex64(r.fingerprint) << "\n";
+        all_pass = all_pass && r.pass;
     }
 
     util::Table table({"file", "scenario", "healer", "verdict", "steps", "events",
                        "steps/sec", "probe-ms/sample", "trace", "fingerprint"});
-    for (const BatchRow& r : rows) {
+    for (const trace_tools::BatchOutcome& r : rows) {
         double probe_ms = r.samples > 0
                               ? r.probe_seconds * 1000.0 / static_cast<double>(r.samples)
                               : 0.0;
@@ -456,7 +488,7 @@ int cmd_batch(const std::vector<std::string>& args) {
               << " specs from " << dir << "\n";
 
     if (!json_path.empty() &&
-        write_batch_json(json_path, dir, healer_override, rows) != 0)
+        write_batch_json(json_path, dir, healer_override, jobs, rows) != 0)
         return 1;
     return all_pass ? 0 : 1;
 }
