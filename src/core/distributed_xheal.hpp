@@ -18,22 +18,45 @@
 //      combined cloud's expander edges (O(log n) rounds, O(kappa * total)
 //      messages) — the costly amortized operation.
 //
+// Lossy networks: the backend accepts a fault model (per-message drop
+// probability + integer latency, see sim::FaultModel) and hardens every
+// phase with an ack + timeout + bounded-retry protocol: batch sends carry
+// sequence numbers, receivers acknowledge, and the driver re-posts unacked
+// messages once the network drains, up to `retries` attempts per message.
+// Because repair *decisions* are leader-local (the embedded XhealHealer),
+// loss and latency change only the message/round/retry bill — a lossy run
+// converges to the byte-identical repaired graph of its lossless twin. The
+// lossless path stays on the historical fast path (no acks, no extra
+// messages), so perfect-delivery counts are unchanged.
+//
 // The network's message and round counters feed the Theorem 5 benches.
 #pragma once
+
+#include <unordered_set>
 
 #include "core/xheal_healer.hpp"
 #include "sim/network.hpp"
 
 namespace xheal::core {
 
+/// Base fault configuration for the distributed backend (spec healer params
+/// `drop=` / `latency=` / `retries=`); per-phase `drop=`/`latency=` keys
+/// override the first two via set_network_faults.
+struct DistFaultConfig {
+    double drop = 0.0;        ///< per-message loss probability in [0, 1]
+    std::size_t latency = 0;  ///< extra delivery delay in rounds
+    std::size_t retries = 8;  ///< max re-sends per message before giving up
+};
+
 class DistributedXheal : public Healer {
 public:
-    explicit DistributedXheal(XhealConfig config = {});
+    explicit DistributedXheal(XhealConfig config = {}, DistFaultConfig faults = {});
 
     std::string_view name() const override { return "xheal-dist"; }
     void on_insert(graph::Graph& g, graph::NodeId v) override;
     RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
     void check_consistency(const graph::Graph& g) const override;
+    void set_network_faults(const NetFaults& faults) override;
 
     const XhealHealer& inner() const { return inner_; }
     const CloudRegistry& registry() const { return inner_.registry(); }
@@ -44,9 +67,23 @@ public:
     std::size_t last_rounds() const { return last_rounds_; }
     /// Messages consumed by the most recent repair.
     std::uint64_t last_messages() const { return last_messages_; }
+    /// Loss-forced re-sends during the most recent repair.
+    std::size_t last_retries() const { return last_retries_; }
 
 private:
     void ensure_attached(const graph::Graph& g);
+    bool lossy() const { return net_.fault_model().drop > 0.0; }
+
+    /// The default per-node handler: collects acks into acked_ and answers
+    /// ack-requesting messages. A no-op on every lossless-path message, so
+    /// perfect-delivery counts match the historical sink behavior.
+    sim::Handler protocol_handler();
+
+    /// Post `batch` and drain the network. Lossless: plain post + run (one
+    /// delivery round per latency hop, exactly the historical cost). Lossy:
+    /// each message carries a fresh ack_seq; unacked messages are re-posted
+    /// (billed as retries) up to the retry budget.
+    void deliver_reliably(const std::vector<sim::Message>& batch);
 
     // Protocol phases; each posts real messages and steps the network.
     void phase_deletion_notice(graph::NodeId v, const std::vector<graph::NodeId>& nbrs);
@@ -66,9 +103,16 @@ private:
 
     XhealHealer inner_;
     sim::Network net_;
+    DistFaultConfig base_faults_;
+    std::size_t max_retries_ = 8;
     bool attached_ = false;
     std::size_t last_rounds_ = 0;
     std::uint64_t last_messages_ = 0;
+    std::size_t last_retries_ = 0;
+    // Reliable-delivery state, reset per repair.
+    std::uint64_t next_seq_ = 1;
+    std::unordered_set<std::uint64_t> acked_;
+    std::size_t retries_accum_ = 0;
 };
 
 }  // namespace xheal::core

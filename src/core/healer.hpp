@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string_view>
 
 #include "graph/graph.hpp"
@@ -25,6 +26,7 @@ struct RepairReport {
     std::size_t rebuilds = 0;         ///< half-loss expander reconstructions
     std::size_t messages = 0;         ///< distributed only: messages exchanged
     std::size_t rounds = 0;           ///< distributed only: synchronous rounds
+    std::size_t retries = 0;          ///< distributed only: re-sends forced by loss
 
     void accumulate(const RepairReport& other) {
         edges_added += other.edges_added;
@@ -35,7 +37,16 @@ struct RepairReport {
         rebuilds += other.rebuilds;
         messages += other.messages;
         rounds += other.rounds;
+        retries += other.retries;
     }
+};
+
+/// Per-phase network fault overrides (scenario keys `drop=` / `latency=`).
+/// An unset field means "fall back to the healer's base model" (the spec's
+/// healer-level `drop=`/`latency=` params, default lossless).
+struct NetFaults {
+    std::optional<double> drop;
+    std::optional<std::size_t> latency;
 };
 
 class Healer {
@@ -76,6 +87,11 @@ public:
     /// Optional deep self-check (registry/claims consistency). Throws on
     /// violation. Default: no internal state to check.
     virtual void check_consistency(const graph::Graph& g) const { (void)g; }
+
+    /// Scenario phase entry hook: apply (or clear, when fields are unset)
+    /// network fault-injection overrides. Only message-passing healers have
+    /// a network; the default is a no-op.
+    virtual void set_network_faults(const NetFaults& faults) { (void)faults; }
 };
 
 }  // namespace xheal::core

@@ -71,8 +71,16 @@ HealerHandle make_healer(const ComponentSpec& spec, std::uint64_t default_seed) 
         handle.kappa = healer->kappa();
         handle.healer = std::move(healer);
     } else if (kind == "xheal-dist") {
-        auto healer =
-            std::make_unique<core::DistributedXheal>(xheal_config(spec, default_seed));
+        // Base fault model (`drop=` / `latency=` / `retries=` healer
+        // params); phase-level drop=/latency= keys override per phase.
+        core::DistFaultConfig faults;
+        faults.drop = spec.get_double("drop", 0.0);
+        faults.latency = spec.get_u64("latency", 0);
+        faults.retries = spec.get_u64("retries", 8);
+        if (faults.drop < 0.0 || faults.drop > 1.0)
+            throw std::runtime_error("xheal-dist: drop must be in [0, 1]");
+        auto healer = std::make_unique<core::DistributedXheal>(
+            xheal_config(spec, default_seed), faults);
         handle.registry = &healer->registry();
         handle.kappa = healer->kappa();
         handle.healer = std::move(healer);

@@ -111,6 +111,9 @@ MetricSample ScenarioRunner::take_sample(std::size_t step, const std::string& ph
     sample.edges = g.edge_count();
     sample.deletions = session_.deletions();
     sample.insertions = session_.insertions();
+    sample.messages = session_.totals().messages;
+    sample.rounds = session_.totals().rounds;
+    sample.retries = session_.totals().retries;
     auto probe_start = std::chrono::steady_clock::now();
     // One CSR snapshot serves every probe of this sample (g cannot mutate
     // inside take_sample). The graph journals carry the structural delta
@@ -166,6 +169,9 @@ double ScenarioRunner::sample_async(ProbePipeline& pipeline, RunResult& result,
     sample.edges = g.edge_count();
     sample.deletions = session_.deletions();
     sample.insertions = session_.insertions();
+    sample.messages = session_.totals().messages;
+    sample.rounds = session_.totals().rounds;
+    sample.retries = session_.totals().retries;
     auto probe_start = std::chrono::steady_clock::now();
     probe_cheap(sample, probes);
     // Hand the structural delta since the previous cadence point to the
@@ -279,6 +285,12 @@ RunResult ScenarioRunner::run() {
         // entry, making the phase's adversary decisions independent of the
         // schedule prefix (sweeps may reorder phases without perturbation).
         if (phase.seed.has_value()) rng_ = util::Rng(*phase.seed);
+        // Phase-level network faults (`drop=` / `latency=`): applied (or
+        // cleared back to the healer's base model) at every phase entry.
+        // No-op for non-message-passing healers; never touches any rng
+        // stream, so replay stays byte-identical.
+        session_.healer().set_network_faults(
+            core::NetFaults{phase.drop, phase.latency});
         auto deleter = make_phase_deleter(phase, registry_);
         auto inserter = make_inserter(phase.inserter);
 
@@ -445,6 +457,21 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
     std::size_t prev_step = 0;
     bool have_prev = false;
 
+    // Mirror run()'s phase-entry fault hook: the fault model switches with
+    // the phase the replayed event belongs to. Applying it lazily (at the
+    // first event of a phase rather than at entry of event-less phases) is
+    // equivalent — the model only matters while messages are in flight.
+    std::optional<std::uint32_t> faults_phase;
+    auto apply_phase_faults = [&](std::uint32_t phase_index) {
+        if (faults_phase.has_value() && *faults_phase == phase_index) return;
+        faults_phase = phase_index;
+        if (phase_index < spec_.phases.size()) {
+            const PhaseSpec& phase = spec_.phases[phase_index];
+            session_.healer().set_network_faults(
+                core::NetFaults{phase.drop, phase.latency});
+        }
+    };
+
     for (const TraceEvent& event : trace.events) {
         if (staged > 0) {
             bool crossed_sample =
@@ -452,6 +479,9 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
                 (prev_step / spec_.sample_every + 1) * spec_.sample_every <= event.step;
             if (crossed_sample || event.phase != staged_phase) flush_batch();
         }
+        // After any cross-phase flush (run() flushes at phase end under the
+        // outgoing phase's fault model), switch to this event's model.
+        apply_phase_faults(event.phase);
         PhaseResult* stats =
             event.phase < result.phases.size() ? &result.phases[event.phase] : nullptr;
         std::size_t batch =

@@ -78,6 +78,12 @@ struct MetricSample {
     std::size_t edges = 0;
     std::size_t deletions = 0;   ///< cumulative
     std::size_t insertions = 0;  ///< cumulative
+    /// Cumulative distributed-protocol billing (Theorem 5 accounting):
+    /// messages sent, synchronous rounds, and loss-forced re-sends across
+    /// all repairs so far. Always 0 for non-message-passing healers.
+    std::size_t messages = 0;
+    std::size_t rounds = 0;
+    std::size_t retries = 0;
     std::size_t components = 0;  ///< probe: connected (0 = not sampled)
     std::size_t max_degree = 0;  ///< probe: degree
     double max_degree_ratio = std::nan("");   ///< probe: degree

@@ -215,6 +215,8 @@ std::string ScenarioSpec::to_text() const {
         if (p.burst != 1) out << " burst=" << p.burst;
         if (p.insert_burst != 0) out << " insert_burst=" << p.insert_burst;
         if (p.batch != 1) out << " batch=" << p.batch;
+        if (p.drop.has_value()) out << " drop=" << *p.drop;
+        if (p.latency.has_value()) out << " latency=" << *p.latency;
         out << " delete_fraction=" << p.delete_fraction;
         if (p.delete_fraction_end.has_value()) out << ".." << *p.delete_fraction_end;
         out << " min_nodes=" << p.min_nodes;
@@ -298,6 +300,13 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
                 } else if (key == "batch") {
                     phase.batch = parse_u64_or_fail(value, "batch", line_no);
                     if (phase.batch == 0) fail(line_no, "batch must be >= 1");
+                } else if (key == "drop") {
+                    double p = parse_double_or_fail(value, "drop", line_no);
+                    if (p < 0.0 || p > 1.0)
+                        fail(line_no, "drop must be in [0, 1], got '" + value + "'");
+                    phase.drop = p;
+                } else if (key == "latency") {
+                    phase.latency = parse_u64_or_fail(value, "latency", line_no);
                 } else if (key == "delete_fraction") {
                     if (value.find("..") != std::string::npos)
                         parse_ramp(value, phase, line_no);

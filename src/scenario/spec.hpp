@@ -38,13 +38,23 @@
 //   insert_burst=I    — I forced insert events at the start of every step,
 //                       before the regular burst (flash-crowd modeling).
 //
-// Batched adversary (this PR):
+// Batched adversary:
 //
 //   phase surge steps=40 delete_fraction=1 batch=16
 //
 //   batch=k           — stage k deletions per repair flush: the healer runs
 //                       per-victim teardown immediately but builds the new
 //                       secondary once per batch (see PhaseSpec::batch).
+//
+// Lossy-network keys (this PR; meaningful for message-passing healers):
+//
+//   phase storm steps=30 delete_fraction=1 drop=0.1 latency=2
+//
+//   drop=p            — per-message loss probability for this phase,
+//                       overriding the healer's base model (healer param
+//                       `drop=`); p in [0, 1].
+//   latency=L         — extra delivery delay in rounds for this phase
+//                       (messages arrive after 1 + L rounds).
 //
 // `to_text()` emits the same grammar, and parse(to_text()) round-trips.
 #pragma once
@@ -105,6 +115,10 @@ struct PhaseSpec {
     double delete_fraction = 0.5;
     /// Ramp end (grammar v2 `delete_fraction=a..b`); absent = constant.
     std::optional<double> delete_fraction_end;
+    /// Per-phase network fault overrides (`drop=` / `latency=`); absent =
+    /// the healer's base fault model. No-ops for non-distributed healers.
+    std::optional<double> drop;
+    std::optional<std::size_t> latency;
     std::size_t min_nodes = 4;  ///< never delete at or below this population
     ComponentSpec deleter{"random", {}};
     /// Non-empty = composite deleter (grammar v2 `deleter=k1:w1,k2:w2`);

@@ -15,6 +15,10 @@ struct Message {
     graph::NodeId to = graph::invalid_node;
     int type = 0;
     std::vector<std::uint64_t> payload;
+    /// Reliable-delivery sequence number; 0 means no ack requested. When
+    /// non-zero, protocol handlers reply with a tag::ack message whose
+    /// payload[0] echoes this value (lossy-network retry protocol).
+    std::uint64_t ack_seq = 0;
 };
 
 /// Well-known message tags used by the Xheal repair protocol. Protocols may
@@ -29,6 +33,7 @@ inline constexpr int free_query = 6;        ///< ask a cloud leader for a free n
 inline constexpr int free_reply = 7;        ///< leader's reply
 inline constexpr int flood = 8;             ///< BFS wave (combine operation)
 inline constexpr int converge = 9;          ///< BFS convergecast of addresses
+inline constexpr int ack = 10;              ///< delivery ack (payload[0] = ack_seq)
 inline constexpr int user_base = 100;
 }  // namespace tag
 

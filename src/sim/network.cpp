@@ -4,8 +4,10 @@ namespace xheal::sim {
 
 std::size_t Context::round() const { return network_.rounds_executed(); }
 
-void Context::send(graph::NodeId to, int type, std::vector<std::uint64_t> payload) {
-    network_.enqueue(Message{self_, to, type, std::move(payload)});
+void Context::send(graph::NodeId to, int type, std::vector<std::uint64_t> payload,
+                   std::uint64_t ack_seq) {
+    network_.enqueue(Message{self_, to, type, std::move(payload), ack_seq},
+                     /*faultable=*/true);
 }
 
 void Network::add_node(graph::NodeId id, Handler handler) {
@@ -15,31 +17,58 @@ void Network::add_node(graph::NodeId id, Handler handler) {
 
 void Network::remove_node(graph::NodeId id) {
     XHEAL_EXPECTS(has_node(id));
+    if (stepping_) {
+        // Mid-round removal would destroy a handler the delivery loop may
+        // still invoke; the node absorbs the rest of this round as a sink
+        // and disappears when the round completes.
+        deferred_handlers_.emplace_back(id, Handler{});
+        removed_mid_step_.push_back(id);
+        return;
+    }
     handlers_.erase(id);
 }
 
 void Network::set_handler(graph::NodeId id, Handler handler) {
     XHEAL_EXPECTS(has_node(id));
+    if (stepping_) {
+        deferred_handlers_.emplace_back(id, std::move(handler));
+        return;
+    }
     handlers_[id] = std::move(handler);
 }
 
-void Network::post(Message m) { enqueue(std::move(m)); }
+void Network::post(Message m) { enqueue(std::move(m), /*faultable=*/true); }
 
 void Network::post(graph::NodeId from, graph::NodeId to, int type,
                    std::vector<std::uint64_t> payload) {
-    enqueue(Message{from, to, type, std::move(payload)});
+    enqueue(Message{from, to, type, std::move(payload)}, /*faultable=*/true);
 }
 
-void Network::enqueue(Message m) {
+void Network::post_control(Message m) { enqueue(std::move(m), /*faultable=*/false); }
+
+void Network::enqueue(Message m, bool faultable) {
     ++messages_sent_;
-    next_.push_back(std::move(m));
+    if (faultable && model_.drop > 0.0 && drop_rng_.chance(model_.drop)) {
+        ++messages_dropped_;
+        return;
+    }
+    const std::size_t slot = faultable ? model_.latency : 0;
+    if (queue_.size() <= slot) queue_.resize(slot + 1);
+    queue_[slot].push_back(std::move(m));
+    ++in_flight_;
 }
 
 std::size_t Network::step() {
-    if (next_.empty()) return 0;
-    std::vector<Message> current;
-    current.swap(next_);
+    if (in_flight_ == 0) return 0;
     ++rounds_;
+    std::vector<Message> current;
+    if (!queue_.empty()) {
+        current = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    in_flight_ -= current.size();
+
+    stepping_ = true;
     std::size_t delivered = 0;
     for (const Message& m : current) {
         auto it = handlers_.find(m.to);
@@ -50,6 +79,18 @@ std::size_t Network::step() {
             it->second(m, ctx);
         }
     }
+    stepping_ = false;
+
+    // Apply swaps requested during the round, in request order, then honor
+    // mid-round removals (set_handler contract; fixes the self-destruct UB
+    // of assigning over the std::function currently on the call stack).
+    for (auto& [id, handler] : deferred_handlers_) {
+        auto it = handlers_.find(id);
+        if (it != handlers_.end()) it->second = std::move(handler);
+    }
+    deferred_handlers_.clear();
+    for (graph::NodeId id : removed_mid_step_) handlers_.erase(id);
+    removed_mid_step_.clear();
     return delivered;
 }
 

@@ -28,6 +28,10 @@ BatchOutcome run_one(const BatchJob& job) {
         out.probe_seconds = result.probe_seconds;
         out.probe_stall_seconds = result.probe_stall_seconds;
         out.samples = result.samples.size();
+        out.deletions = result.final_sample.deletions;
+        out.messages = result.final_sample.messages;
+        out.rounds = result.final_sample.rounds;
+        out.retries = result.final_sample.retries;
         out.failures = result.failures;
     } catch (const std::exception& e) {
         out.errored = true;

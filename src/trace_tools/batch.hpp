@@ -45,6 +45,13 @@ struct BatchOutcome {
     double probe_seconds = 0.0;
     double probe_stall_seconds = 0.0;
     std::size_t samples = 0;
+    /// Distributed-protocol billing at run end (cumulative, deterministic;
+    /// 0 for non-message-passing healers), plus the deletion count they
+    /// amortize over — the batch JSON's Theorem 5 columns.
+    std::size_t deletions = 0;
+    std::size_t messages = 0;
+    std::size_t rounds = 0;
+    std::size_t retries = 0;
     std::vector<std::string> failures;
     /// The runner threw (spec names an unknown component, replay-grade
     /// invariant tripped, ...). `error` carries the message; the other

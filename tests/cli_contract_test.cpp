@@ -135,9 +135,13 @@ TEST_F(CliContract, BatchExitCodes) {
     std::ifstream report(json);
     std::string body((std::istreambuf_iterator<char>(report)),
                      std::istreambuf_iterator<char>());
-    EXPECT_NE(body.find("\"schema\": \"xheal-batch-v2\""), std::string::npos);
+    EXPECT_NE(body.find("\"schema\": \"xheal-batch-v3\""), std::string::npos);
     EXPECT_NE(body.find("\"jobs\": 1"), std::string::npos);
     EXPECT_NE(body.find("\"trace_hash\""), std::string::npos);
+    // v3 billing columns are always present (0 for local healers).
+    EXPECT_NE(body.find("\"messages\""), std::string::npos);
+    EXPECT_NE(body.find("\"rounds\""), std::string::npos);
+    EXPECT_NE(body.find("\"retries\""), std::string::npos);
 
     // --jobs routes through the worker pool; results (and exit code) match.
     EXPECT_EQ(run_cli("batch " + dir + " --jobs 4"), 0);

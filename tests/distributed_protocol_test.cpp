@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <tuple>
 
 #include "core/distributed_xheal.hpp"
 #include "core/session.hpp"
 #include "graph/algorithms.hpp"
+#include "scenario/trace.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -129,6 +132,104 @@ TEST(DistributedProtocol, InsertionChargesNothing) {
     g.add_black_edge(v, 2);
     healer.on_insert(g, v);
     EXPECT_EQ(healer.network().messages_sent(), before);
+}
+
+// ---- lossy-network hardening ----
+
+TEST(DistributedProtocol, LossyRepairConvergesToLosslessGraph) {
+    // The load-bearing invariant: repair decisions are leader-local, so
+    // drops change only the bill. Run the identical deletion schedule
+    // through a lossless and a drop=0.2 healer (same healer seed) and the
+    // repaired graphs must stay byte-identical at every step, while the
+    // lossy run pays strictly more messages and some retries.
+    Graph g_perfect = wl::make_star(32);
+    Graph g_lossy = wl::make_star(32);
+    DistributedXheal perfect(XhealConfig{2, 5});
+    DistributedXheal lossy(XhealConfig{2, 5}, DistFaultConfig{0.2, 0, 8});
+
+    std::uint64_t messages_perfect = 0, messages_lossy = 0;
+    std::size_t retries_total = 0;
+    while (g_perfect.node_count() > 6) {
+        NodeId victim = g_perfect.nodes_sorted().front();
+        ASSERT_EQ(victim, g_lossy.nodes_sorted().front());
+        auto rp = perfect.on_delete(g_perfect, victim);
+        auto rl = lossy.on_delete(g_lossy, victim);
+        EXPECT_EQ(rp.retries, 0u);
+        messages_perfect += rp.messages;
+        messages_lossy += rl.messages;
+        retries_total += rl.retries;
+        ASSERT_EQ(xheal::scenario::graph_fingerprint(g_perfect),
+                  xheal::scenario::graph_fingerprint(g_lossy));
+    }
+    EXPECT_GT(messages_lossy, messages_perfect);  // acks + re-sends
+    EXPECT_GT(retries_total, 0u);                 // drops actually happened
+    EXPECT_GT(lossy.network().messages_dropped(), 0u);
+}
+
+TEST(DistributedProtocol, LossyRunsAreDeterministic) {
+    // Same seeds, same schedule: identical billing, drop coin by drop coin.
+    auto run_once = [] {
+        Graph g = wl::make_star(24);
+        DistributedXheal healer(XhealConfig{2, 7}, DistFaultConfig{0.15, 1, 8});
+        std::uint64_t messages = 0;
+        std::size_t rounds = 0, retries = 0;
+        while (g.node_count() > 8) {
+            auto r = healer.on_delete(g, g.nodes_sorted().front());
+            messages += r.messages;
+            rounds += r.rounds;
+            retries += r.retries;
+        }
+        return std::tuple{messages, rounds, retries,
+                          xheal::scenario::graph_fingerprint(g)};
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(DistributedProtocol, LatencyMultipliesRoundsExactly) {
+    // drop = 0, latency = L keeps the lossless fast path (no acks): every
+    // delivery wave costs 1 + L rounds instead of 1, so the star repair's
+    // round bill is exactly (1 + L) times the lossless bill, with an
+    // unchanged message count.
+    const std::size_t k = 16, L = 2;
+    Graph g_base = wl::make_star(k);
+    Graph g_slow = wl::make_star(k);
+    DistributedXheal base(XhealConfig{2, 5});
+    DistributedXheal slow(XhealConfig{2, 5}, DistFaultConfig{0.0, L, 8});
+    auto rb = base.on_delete(g_base, 0);
+    auto rs = slow.on_delete(g_slow, 0);
+    EXPECT_EQ(rs.rounds, (1 + L) * rb.rounds);
+    EXPECT_EQ(rs.messages, rb.messages);
+    EXPECT_EQ(rs.retries, 0u);
+}
+
+TEST(DistributedProtocol, CombineFloodSurvivesDrops) {
+    // Replay the combine-hunting loop of CombineFloodCoversCombinedCloud
+    // under drop = 0.15: the flood + convergecast must still complete and
+    // the repaired graph must match the lossless twin's after every event.
+    xheal::util::Rng rng(17);
+    Graph g_perfect = wl::make_erdos_renyi(26, 0.25, rng);
+    Graph g_lossy = g_perfect;
+    DistributedXheal perfect(XhealConfig{1, 23});
+    DistributedXheal lossy(XhealConfig{1, 23}, DistFaultConfig{0.15, 0, 8});
+    bool combined = false;
+    for (int step = 0; step < 200 && g_perfect.node_count() > 4; ++step) {
+        NodeId victim = xheal::graph::invalid_node;
+        for (NodeId v : g_perfect.nodes_sorted()) {
+            if (!perfect.registry().is_free(v)) {
+                victim = v;
+                break;
+            }
+        }
+        if (victim == xheal::graph::invalid_node)
+            victim = g_perfect.nodes_sorted().front();
+        auto rp = perfect.on_delete(g_perfect, victim);
+        lossy.on_delete(g_lossy, victim);
+        ASSERT_EQ(xheal::scenario::graph_fingerprint(g_perfect),
+                  xheal::scenario::graph_fingerprint(g_lossy));
+        combined = combined || rp.combines > 0;
+    }
+    EXPECT_TRUE(combined) << "schedule no longer exercises a combine";
+    EXPECT_TRUE(xheal::graph::is_connected(g_lossy));
 }
 
 TEST(DistributedProtocol, ActorLifecycleTracksGraph) {

@@ -177,6 +177,34 @@ TEST(ScenarioSpecV2, LastDeleterKeyWinsInBothDirections) {
     EXPECT_NE(b.to_text().find("deleter=cut-point"), std::string::npos);
 }
 
+TEST(ScenarioSpecV2, LossyNetworkKeysParseAndRoundTrip) {
+    const std::string prologue = "topology star\nhealer xheal-dist\n";
+    auto spec = ScenarioSpec::parse(
+        prologue + "phase storm steps=30 delete_fraction=1 drop=0.1 latency=2\n"
+                   "phase calm steps=10 delete_fraction=0.2\n");
+    ASSERT_EQ(spec.phases.size(), 2u);
+    ASSERT_TRUE(spec.phases[0].drop.has_value());
+    EXPECT_DOUBLE_EQ(*spec.phases[0].drop, 0.1);
+    ASSERT_TRUE(spec.phases[0].latency.has_value());
+    EXPECT_EQ(*spec.phases[0].latency, 2u);
+    // Unset keys stay unset: the healer falls back to its base fault model.
+    EXPECT_FALSE(spec.phases[1].drop.has_value());
+    EXPECT_FALSE(spec.phases[1].latency.has_value());
+
+    std::string canonical = spec.to_text();
+    auto reparsed = ScenarioSpec::parse(canonical);
+    EXPECT_EQ(reparsed.to_text(), canonical);
+    EXPECT_EQ(reparsed.content_hash(), spec.content_hash());
+    EXPECT_NE(canonical.find("drop=0.1"), std::string::npos);
+    EXPECT_NE(canonical.find("latency=2"), std::string::npos);
+
+    // Probabilities outside [0, 1] and non-integer latencies are parse
+    // errors, not silent clamps.
+    expect_rejects(prologue + "phase p steps=1 drop=1.5\n", "[0, 1]");
+    expect_rejects(prologue + "phase p steps=1 drop=-0.1\n", "[0, 1]");
+    expect_rejects(prologue + "phase p steps=1 latency=2.5\n", "latency");
+}
+
 TEST(ScenarioSpecV2, RejectsMalformedRampsAndMixtures) {
     const std::string prologue = "topology star\nhealer xheal\n";
     // Ramps: reversed, negative, out-of-range, missing bounds, junk bounds.

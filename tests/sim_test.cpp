@@ -132,4 +132,157 @@ TEST(Network, BroadcastWaveCountsRoundsOnce) {
     EXPECT_EQ(net.rounds_executed(), 1u);
 }
 
+// ---- round-numbering convention (pinned; see network.hpp header) ----
+
+TEST(Network, RoundConventionDeliveryRoundIsOneBased) {
+    // A pre-step post is a round-0 send: delivered in round 1, and
+    // Context::round() inside the handler reports exactly that. A reply
+    // sent from round r arrives in round r + 1.
+    Network net;
+    std::vector<std::size_t> delivery_rounds;
+    net.add_node(1, [&](const Message& m, Context& ctx) {
+        delivery_rounds.push_back(ctx.round());
+        if (m.type == 1) ctx.send(1, 2);  // self-reply, next round
+    });
+    net.post(0, 1, 1);
+    net.run();
+    EXPECT_EQ(delivery_rounds, (std::vector<std::size_t>{1, 2}));
+    EXPECT_EQ(net.rounds_executed(), 2u);
+}
+
+TEST(Network, RoundConventionLatencyDelaysDelivery) {
+    // latency = 2: a round-0 send is delivered in round 1 + 2 = 3. The two
+    // gap steps deliver nothing but are charged as rounds (the network is
+    // not idle, time passes).
+    Network net;
+    std::size_t delivered_in = 0;
+    net.add_node(1, [&](const Message&, Context& ctx) { delivered_in = ctx.round(); });
+    net.set_fault_model({0.0, 2});
+    net.post(0, 1, 7);
+    EXPECT_EQ(net.step(), 0u);  // gap round 1
+    EXPECT_EQ(net.step(), 0u);  // gap round 2
+    EXPECT_FALSE(net.idle());
+    EXPECT_EQ(net.step(), 1u);  // delivery round 3
+    EXPECT_EQ(delivered_in, 3u);
+    EXPECT_EQ(net.rounds_executed(), 3u);
+    EXPECT_TRUE(net.idle());
+}
+
+TEST(Network, InFlightMessagesKeepTheirStampedDelay) {
+    // Lowering latency mid-run must not accelerate messages already in
+    // flight; new sends use the new model.
+    Network net;
+    std::vector<int> order;
+    net.add_node(1, [&](const Message& m, Context&) { order.push_back(m.type); });
+    net.set_fault_model({0.0, 3});
+    net.post(0, 1, 100);            // due in round 4
+    net.set_fault_model({0.0, 0});
+    net.post(0, 1, 200);            // due in round 1
+    net.run();
+    EXPECT_EQ(order, (std::vector<int>{200, 100}));
+    EXPECT_EQ(net.rounds_executed(), 4u);
+}
+
+// ---- fault injection ----
+
+TEST(Network, DropStreamIsDeterministicPerSeed) {
+    auto run_once = [](std::uint64_t seed) {
+        Network net;
+        std::vector<int> got;
+        net.add_node(1, [&](const Message& m, Context&) { got.push_back(m.type); });
+        net.seed_drop_stream(seed);
+        net.set_fault_model({0.5, 0});
+        for (int i = 0; i < 64; ++i) net.post(0, 1, i);
+        net.run();
+        return std::pair{got, net.messages_dropped()};
+    };
+    auto [a, dropped_a] = run_once(42);
+    auto [b, dropped_b] = run_once(42);
+    EXPECT_EQ(a, b);  // same seed, same survivors in the same order
+    EXPECT_EQ(dropped_a, dropped_b);
+    // Sanity: at drop=0.5 over 64 coins, both outcomes occur.
+    EXPECT_GT(dropped_a, 0u);
+    EXPECT_LT(dropped_a, 64u);
+    EXPECT_EQ(a.size() + dropped_a, 64u);
+}
+
+TEST(Network, DroppedMessagesStillBilledAsSent) {
+    Network net;
+    net.add_node(1);
+    net.set_fault_model({1.0, 0});  // certain loss
+    net.post(0, 1, 1);
+    net.post(0, 1, 2);
+    EXPECT_TRUE(net.idle());        // nothing actually in flight
+    EXPECT_EQ(net.messages_sent(), 2u);
+    EXPECT_EQ(net.messages_dropped(), 2u);
+    EXPECT_EQ(net.run(), 0u);
+}
+
+TEST(Network, ControlPostsBypassFaults) {
+    // post_control models the failure-detector channel: immune to drop and
+    // latency, delivered next step, still billed as sent.
+    Network net;
+    std::vector<std::size_t> delivered_in;
+    net.add_node(1, [&](const Message&, Context& ctx) {
+        delivered_in.push_back(ctx.round());
+    });
+    net.set_fault_model({1.0, 5});
+    net.post_control(Message{0, 1, 9, {}});
+    EXPECT_EQ(net.step(), 1u);
+    EXPECT_EQ(delivered_in, (std::vector<std::size_t>{1}));
+    EXPECT_EQ(net.messages_sent(), 1u);
+    EXPECT_EQ(net.messages_dropped(), 0u);
+}
+
+// ---- mid-step mutation safety (regression: self-destructing handler) ----
+
+TEST(Network, HandlerCanRebindItselfFromWithinHandler) {
+    // A handler replacing itself used to destroy the live std::function
+    // mid-call (UB). The swap now defers to round end: every message of the
+    // current round runs under the original handler, the new one takes over
+    // next round.
+    Network net;
+    int original = 0, replacement = 0;
+    net.add_node(1, [&](const Message&, Context&) {
+        ++original;
+        net.set_handler(1, [&](const Message&, Context&) { ++replacement; });
+    });
+    net.post(0, 1, 1);
+    net.post(0, 1, 2);  // same round as the first
+    net.step();
+    EXPECT_EQ(original, 2);     // both same-round messages: old handler
+    EXPECT_EQ(replacement, 0);
+    net.post(0, 1, 3);
+    net.step();
+    EXPECT_EQ(original, 2);
+    EXPECT_EQ(replacement, 1);  // swap landed at round boundary
+}
+
+TEST(Network, RemoveNodeFromWithinHandlerDefersToRoundEnd) {
+    Network net;
+    int delivered = 0;
+    net.add_node(1, [&](const Message&, Context&) {
+        ++delivered;
+        net.remove_node(1);
+    });
+    net.post(0, 1, 1);
+    net.post(0, 1, 2);
+    net.step();  // both delivered this round, removal applies after
+    EXPECT_EQ(delivered, 2);
+    EXPECT_FALSE(net.has_node(1));
+}
+
+TEST(Network, ResetCountersRequiresIdleNetwork) {
+    // Resetting with messages in flight would bill cross-epoch: sent in the
+    // old epoch, rounds charged in the new (regression: epoch leak).
+    Network net;
+    net.add_node(1);
+    net.post(0, 1, 1);
+    EXPECT_THROW(net.reset_counters(), ContractViolation);
+    net.run();
+    net.reset_counters();  // idle: fine
+    EXPECT_EQ(net.messages_sent(), 0u);
+    EXPECT_EQ(net.rounds_executed(), 0u);
+}
+
 }  // namespace

@@ -1,29 +1,42 @@
 #!/usr/bin/env python3
-"""CI perf-regression guard: compare a fresh BENCH_scenarios.json against
+"""CI perf-regression guard: compare a fresh BENCH_scenarios.json (or an
+xheal-batch report — both carry "results" rows keyed by scenario) against
 checked-in per-scenario baselines (tools/perf_floors.json) with a generous
 2x tolerance, failing loudly on any violation.
 
-The bounds enforced for each scenario named in the floors file:
+The bounds enforced for each scenario named in the floors file (every
+baseline key is optional — a baseline may guard timing, billing, or both):
 
     steps_per_sec        >= baseline / tolerance         (throughput floor)
     probe_ms_per_sample  <= baseline * tolerance + grace (probe cost ceiling)
 
-plus optional hard_* acceptance criteria that tighten the derived bound
-when stricter (dex-scale must hold >=10k steps/sec and <=150 ms/sample no
-matter what the baseline drifts to). Scenarios present in the bench report
-but absent from the floors file are listed as unguarded; scenarios named
-with --only that are missing from the report are an error (the guard must
-never silently pass because the run it guards did not happen).
+    messages / deletions <= max_messages_per_delete      (Theorem 5 bill)
+    rounds / deletions   <= max_rounds_per_delete
+    retries / deletions  <= max_retries_per_delete
+
+plus optional hard_* acceptance criteria that tighten the derived timing
+bound when stricter (dex-scale must hold >=10k steps/sec and <=150
+ms/sample no matter what the baseline drifts to). The billing ceilings are
+Theorem-5-shaped amortized costs: a distributed-protocol change that
+inflates the per-deletion message/round/retry bill past the pinned ceiling
+fails CI even when wall-clock throughput is unchanged. Scenarios present
+in the bench report but absent from the floors file are listed as
+unguarded; scenarios named with --only that are missing from the report
+are an error (the guard must never silently pass because the run it
+guards did not happen).
 
 Parallel batch reports (xheal-batch-v2 and later) carry a report-level
 "jobs" count; reports without one (run reports, v1 batch reports) count as
-jobs=1. Baselines were pinned at a specific worker count — a machine
-running N specs concurrently shows per-spec throughput jitter that has
-nothing to do with code regressions — so every baseline carries its own
-"jobs" key (default 1) and is only enforced like-for-like: when the
-report's jobs differs from the baseline's, the scenario is skipped with a
-note. Naming a skipped scenario with --only is an error, same as a
-missing row: the guard must not silently pass on a mismatched run.
+jobs=1. Timing baselines were pinned at a specific worker count — a
+machine running N specs concurrently shows per-spec throughput jitter that
+has nothing to do with code regressions — so every baseline carries its
+own "jobs" key (default 1) and its TIMING bounds are only enforced
+like-for-like: when the report's jobs differs from the baseline's, the
+timing checks are skipped with a note. The billing counters are
+deterministic (same bill at --jobs 1 and --jobs N), so billing ceilings
+are enforced regardless of worker count. Naming a scenario with --only
+whose every bound would be skipped is an error, same as a missing row:
+the guard must not silently pass on a mismatched run.
 
 Usage:
     check_perf_floors.py BENCH_scenarios.json [--floors perf_floors.json]
@@ -38,6 +51,12 @@ import argparse
 import json
 import os
 import sys
+
+BILLING_KEYS = {
+    "max_messages_per_delete": "messages",
+    "max_rounds_per_delete": "rounds",
+    "max_retries_per_delete": "retries",
+}
 
 
 def load_json(path: str):
@@ -99,48 +118,88 @@ def main() -> int:
             else:
                 print(f"  - {name:<16} not in this report (skipped)")
             continue
+
         base_jobs = int(base.get("jobs", 1))
-        if base_jobs != report_jobs:
-            if args.only:
+        has_timing = "steps_per_sec" in base or "probe_ms_per_sample" in base
+        has_billing = any(k in base for k in BILLING_KEYS)
+        check_timing = has_timing and base_jobs == report_jobs
+        if has_timing and not check_timing:
+            if args.only and not has_billing:
                 failures.append(
                     f"{name}: baseline pinned at jobs={base_jobs} but the "
                     f"report ran at jobs={report_jobs} — not a like-for-like "
                     f"comparison, and --only demands this scenario be "
                     f"guarded")
-            else:
-                print(f"  - {name:<16} baseline jobs={base_jobs}, report "
-                      f"jobs={report_jobs} (skipped: not like-for-like)")
+                continue
+            print(f"  - {name:<16} baseline jobs={base_jobs}, report "
+                  f"jobs={report_jobs} (timing skipped: not like-for-like)")
+        if not has_timing and not has_billing:
+            failures.append(f"{name}: baseline carries no bounds at all — "
+                            f"pin steps_per_sec/probe_ms_per_sample or a "
+                            f"max_*_per_delete ceiling in {args.floors}")
             continue
 
-        sps = float(row.get("steps_per_sec", 0.0))
-        sps_floor = float(base["steps_per_sec"]) / tolerance
-        if "hard_steps_per_sec_floor" in base:
-            sps_floor = max(sps_floor, float(base["hard_steps_per_sec_floor"]))
-
-        pms = float(row.get("probe_ms_per_sample", 0.0))
-        pms_ceiling = float(base["probe_ms_per_sample"]) * tolerance + grace
-        if "hard_probe_ms_ceiling" in base:
-            pms_ceiling = min(pms_ceiling, float(base["hard_probe_ms_ceiling"]))
-
         ok = True
-        if sps < sps_floor:
-            ok = False
-            failures.append(
-                f"{name}: steps_per_sec {sps:.0f} fell under the floor "
-                f"{sps_floor:.0f} (baseline {base['steps_per_sec']})")
-        if pms > pms_ceiling:
-            ok = False
-            failures.append(
-                f"{name}: probe_ms_per_sample {pms:.3f} exceeds the ceiling "
-                f"{pms_ceiling:.3f} (baseline {base['probe_ms_per_sample']})")
+        pieces = []
+        if check_timing:
+            sps = float(row.get("steps_per_sec", 0.0))
+            sps_floor = float(base.get("steps_per_sec", 0.0)) / tolerance
+            if "hard_steps_per_sec_floor" in base:
+                sps_floor = max(sps_floor,
+                                float(base["hard_steps_per_sec_floor"]))
+            pms = float(row.get("probe_ms_per_sample", 0.0))
+            pms_ceiling = (float(base.get("probe_ms_per_sample", 0.0))
+                           * tolerance + grace)
+            if "hard_probe_ms_ceiling" in base:
+                pms_ceiling = min(pms_ceiling,
+                                  float(base["hard_probe_ms_ceiling"]))
+            if sps < sps_floor:
+                ok = False
+                failures.append(
+                    f"{name}: steps_per_sec {sps:.0f} fell under the floor "
+                    f"{sps_floor:.0f} (baseline {base.get('steps_per_sec')})")
+            if pms > pms_ceiling:
+                ok = False
+                failures.append(
+                    f"{name}: probe_ms_per_sample {pms:.3f} exceeds the "
+                    f"ceiling {pms_ceiling:.3f} "
+                    f"(baseline {base.get('probe_ms_per_sample')})")
+            pieces.append(f"steps/s {sps:>9.0f} (floor {sps_floor:>9.0f})")
+            pieces.append(f"probe ms/sample {pms:>8.3f} "
+                          f"(ceiling {pms_ceiling:>8.3f})")
+
+        if has_billing:
+            # Deterministic counters: enforced at any worker count. The
+            # ceilings are per-deletion amortized bills (Theorem 5 shape),
+            # so a report with zero deletions cannot vacuously pass.
+            deletions = float(row.get("deletions", 0))
+            if deletions <= 0:
+                ok = False
+                failures.append(
+                    f"{name}: billing ceiling pinned but the report shows 0 "
+                    f"deletions — the guarded protocol never ran")
+            else:
+                for key, field in BILLING_KEYS.items():
+                    if key not in base:
+                        continue
+                    per = float(row.get(field, 0)) / deletions
+                    ceiling = float(base[key])
+                    pieces.append(f"{field}/del {per:>7.1f} "
+                                  f"(ceiling {ceiling:g})")
+                    if per > ceiling:
+                        ok = False
+                        failures.append(
+                            f"{name}: {field} per deletion {per:.2f} exceeds "
+                            f"the pinned ceiling {ceiling:g} "
+                            f"({row.get(field, 0)} {field} over "
+                            f"{deletions:.0f} deletions)")
+
         if not row.get("pass", False):
             ok = False
             failures.append(f"{name}: scenario verdict is FAIL in {args.bench}")
 
         status = "ok" if ok else "FAIL"
-        print(f"  - {name:<16} steps/s {sps:>9.0f} (floor {sps_floor:>9.0f})  "
-              f"probe ms/sample {pms:>8.3f} (ceiling {pms_ceiling:>8.3f})  "
-              f"{status}")
+        print(f"  - {name:<16} " + "  ".join(pieces) + f"  {status}")
 
     for name in unguarded:
         print(f"  - {name:<16} UNGUARDED — add a baseline to {args.floors}")

@@ -153,7 +153,8 @@ void print_samples(const scenario::RunResult& result) {
 
 void print_phases(const scenario::RunResult& result) {
     util::Table table({"phase", "steps", "deletions", "insertions", "skipped",
-                       "edges-added", "combines", "mean rounds", "messages"});
+                       "edges-added", "combines", "mean rounds", "messages",
+                       "retries"});
     for (const auto& p : result.phases) {
         table.row()
             .add(p.name)
@@ -164,7 +165,8 @@ void print_phases(const scenario::RunResult& result) {
             .add(p.totals.edges_added)
             .add(p.totals.combines)
             .add(p.rounds.mean(), 2)
-            .add(static_cast<std::size_t>(p.totals.messages));
+            .add(static_cast<std::size_t>(p.totals.messages))
+            .add(static_cast<std::size_t>(p.totals.retries));
     }
     table.print(std::cout);
 }
@@ -180,20 +182,29 @@ struct JsonRow {
     std::size_t samples = 0;
     std::uint64_t probe_rebuilds = 0;
     std::uint64_t probe_patched_events = 0;
+    std::size_t deletions = 0;
+    std::size_t messages = 0;
+    std::size_t rounds = 0;
+    std::size_t retries = 0;
     bool pass = false;
 };
 
+/// xheal-bench-scenarios-v4: v3 plus the distributed-protocol billing
+/// columns (deletions, messages, rounds, retries — cumulative, deterministic,
+/// 0 for non-message-passing healers). Theorem 5 floors divide messages and
+/// rounds by deletions.
 int write_json(const std::string& path, const std::vector<JsonRow>& rows) {
     std::ofstream out(path);
     if (!out) {
         std::cerr << "cannot open " << path << "\n";
         return 1;
     }
-    out << "{\n  \"schema\": \"xheal-bench-scenarios-v3\",\n"
-        << "  \"note\": \"scenario engine throughput (adversary+healer steps/sec) and "
-           "probe cost (seconds spent in metric probes, ms per sample) per bundled "
-           "spec; probe_stall_seconds is stepping time blocked on the async probe "
-           "worker (0 when probing inline)\",\n"
+    out << "{\n  \"schema\": \"xheal-bench-scenarios-v4\",\n"
+        << "  \"note\": \"scenario engine throughput (adversary+healer steps/sec), "
+           "probe cost (seconds spent in metric probes, ms per sample), and "
+           "distributed-protocol billing (messages/rounds/retries, cumulative; 0 "
+           "for local healers) per bundled spec; probe_stall_seconds is stepping "
+           "time blocked on the async probe worker (0 when probing inline)\",\n"
         << "  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         double probe_ms_per_sample =
@@ -213,6 +224,10 @@ int write_json(const std::string& path, const std::vector<JsonRow>& rows) {
             << util::format_double(probe_ms_per_sample, 3)
             << ", \"probe_rebuilds\": " << rows[i].probe_rebuilds
             << ", \"probe_patched_events\": " << rows[i].probe_patched_events
+            << ", \"deletions\": " << rows[i].deletions
+            << ", \"messages\": " << rows[i].messages
+            << ", \"rounds\": " << rows[i].rounds
+            << ", \"retries\": " << rows[i].retries
             << ", \"pass\": " << (rows[i].pass ? "true" : "false") << "}"
             << (i + 1 < rows.size() ? "," : "") << "\n";
     }
@@ -304,7 +319,11 @@ int cmd_run(const std::vector<std::string>& args) {
                              result.seconds, result.steps_per_sec(),
                              result.probe_seconds, result.probe_stall_seconds,
                              result.samples.size(), result.probe_rebuilds,
-                             result.probe_patched_events, result.passed()});
+                             result.probe_patched_events,
+                             result.final_sample.deletions,
+                             result.final_sample.messages,
+                             result.final_sample.rounds,
+                             result.final_sample.retries, result.passed()});
     }
     if (!json_path.empty() && write_json(json_path, json_rows) != 0) return 1;
     return all_pass ? 0 : 1;
@@ -319,10 +338,12 @@ std::string json_escape(const std::string& text) {
     return out;
 }
 
-/// xheal-batch-v2: v1 plus a report-level "jobs" field (worker pool size —
-/// consumers enforcing perf floors compare like-for-like runs only) and a
-/// per-row "probe_stall_seconds". Every deterministic field is byte-stable
-/// across jobs values; v1 readers treat a missing "jobs" as 1.
+/// xheal-batch-v3: v2 plus the per-row distributed-protocol billing columns
+/// (deletions, messages, rounds, retries — deterministic, byte-stable across
+/// jobs values; 0 for non-message-passing healers). v2 added the
+/// report-level "jobs" field (worker pool size — consumers enforcing perf
+/// floors compare like-for-like runs only) and per-row
+/// "probe_stall_seconds"; v1 readers treat a missing "jobs" as 1.
 int write_batch_json(const std::string& path, const std::string& dir,
                      const std::string& healer_override, std::size_t jobs,
                      const std::vector<trace_tools::BatchOutcome>& rows) {
@@ -331,7 +352,7 @@ int write_batch_json(const std::string& path, const std::string& dir,
         std::cerr << "cannot open " << path << "\n";
         return 1;
     }
-    out << "{\n  \"schema\": \"xheal-batch-v2\",\n"
+    out << "{\n  \"schema\": \"xheal-batch-v3\",\n"
         << "  \"note\": \"aggregated batch report: per-spec verdict, deterministic "
            "stream hash + final-graph fingerprint, and stepping/probe throughput; "
            "hashes and verdicts are reproducible bit-for-bit at any jobs count, "
@@ -358,6 +379,10 @@ int write_batch_json(const std::string& path, const std::string& dir,
             << util::format_double(r.probe_stall_seconds, 6)
             << ", \"samples\": " << r.samples
             << ", \"probe_ms_per_sample\": " << util::format_double(probe_ms_per_sample, 3)
+            << ", \"deletions\": " << r.deletions
+            << ", \"messages\": " << r.messages
+            << ", \"rounds\": " << r.rounds
+            << ", \"retries\": " << r.retries
             << ", \"failures\": [";
         for (std::size_t f = 0; f < r.failures.size(); ++f)
             out << (f == 0 ? "" : ", ") << "\"" << json_escape(r.failures[f]) << "\"";
@@ -744,6 +769,8 @@ int cmd_list() {
               << "  name <id> | seed <n> | topology <kind> k=v... | healer <kind> k=v...\n"
               << "  probes <name>... | sample_every <n> | stretch_samples <n>\n"
               << "  phase <id> steps=N [seed=S] [burst=B] [insert_burst=I]\n"
+              << "        [drop=P] [latency=L]  (lossy network, message-passing "
+                 "healers)\n"
               << "        [delete_fraction=F | delete_fraction=A..B] [min_nodes=M]\n"
               << "        [deleter=<kind> | deleter=<k1>:<w1>,<k2>:<w2>] "
                  "[inserter=<kind>]\n"
