@@ -106,6 +106,21 @@ struct Cloud {
         rebuild_count = 0;
     }
 
+    /// Id-compaction support: rewrite every id this cloud carries through
+    /// the ascending old->new map. Both sorted mirrors stay sorted because
+    /// the map is monotone over live ids (pairs are normalized u < v and
+    /// monotone maps preserve both coordinates' order).
+    void remap_ids(const std::vector<graph::NodeId>& old_to_new) {
+        topology.remap_ids(old_to_new);
+        for (auto& [u, v] : claimed) {
+            u = old_to_new[u];
+            v = old_to_new[v];
+        }
+        for (auto& [v, c] : bridge_assoc) v = old_to_new[v];
+        if (leader != graph::invalid_node) leader = old_to_new[leader];
+        if (vice_leader != graph::invalid_node) vice_leader = old_to_new[vice_leader];
+    }
+
     std::size_t size() const { return topology.size(); }
     bool has_member(graph::NodeId v) const { return topology.contains(v); }
     std::vector<graph::NodeId> members_sorted() const { return topology.members_sorted(); }

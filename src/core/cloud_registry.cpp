@@ -312,6 +312,44 @@ void CloudRegistry::retire_membership_row(NodeId v) {
     }
 }
 
+void CloudRegistry::remap_ids(const std::vector<NodeId>& old_to_new,
+                              std::size_t live_count) {
+    // Live clouds carry renumbered-graph ids everywhere: topology, claim
+    // mirror, bridge associations, leadership. Pooled clouds are skipped —
+    // create_cloud fully re-initializes them on revival.
+    for (const auto& [color, slot] : index_) pool_[slot]->remap_ids(old_to_new);
+
+    // Slide membership rows down to their new ids. The map is ascending
+    // (new <= old), so a forward pass never overwrites a row that hasn't
+    // moved yet. Dead ids must carry no memberships (their rows were emptied
+    // when they left their last cloud); their storage is retired into the
+    // pool just like retire_membership_row does, so the next epoch's fresh
+    // ids register without allocating.
+    std::size_t upper = std::min(memberships_.size(), old_to_new.size());
+    for (NodeId v = 0; v < upper; ++v) {
+        std::vector<ColorId>& row = memberships_[v];
+        NodeId to = old_to_new[v];
+        if (to == graph::invalid_node) {
+            XHEAL_ASSERT(row.empty());
+            if (row.capacity() != 0 && membership_pool_.size() < membership_pool_cap) {
+                if (membership_pool_.capacity() == 0)
+                    membership_pool_.reserve(membership_pool_cap);
+                membership_pool_.push_back(std::move(row));
+            }
+            std::vector<ColorId>().swap(row);
+            continue;
+        }
+        if (to != v) row.swap(memberships_[to]);
+    }
+    // Rows past the map (ids that never joined a cloud) don't exist, and the
+    // tail beyond the live range holds only moved-from/empty rows.
+    for (NodeId v = static_cast<NodeId>(std::min<std::size_t>(live_count, upper));
+         v < upper; ++v) {
+        XHEAL_ASSERT(memberships_[v].empty());
+    }
+    if (memberships_.size() > live_count) memberships_.resize(live_count);
+}
+
 void CloudRegistry::verify(const Graph& g) const {
     for (const auto& [color, slot] : index_) {
         const Cloud* cloud = pool_[slot].get();

@@ -102,6 +102,16 @@ public:
     /// violation. O(total cloud size); used by tests and failure injection.
     void verify(const graph::Graph& g) const;
 
+    /// Id-compaction support (DESIGN.md decision 12): rewrite every live
+    /// cloud and the membership table through the ascending old->new map
+    /// (`live_count` = number of valid targets). Dead nodes must carry no
+    /// memberships; their rows' storage is retired into the pool exactly as
+    /// retire_membership_row would. Pooled (destroyed) clouds hold stale ids
+    /// but are fully re-initialized on revival, so only live clouds are
+    /// touched. No rng draws.
+    void remap_ids(const std::vector<graph::NodeId>& old_to_new,
+                   std::size_t live_count);
+
 private:
     /// Full resync: diff the cloud's topology projection against its claim
     /// mirror and apply the changes to g. Used after constructions, mode

@@ -153,6 +153,14 @@ RepairReport DistributedXheal::on_delete(Graph& g, NodeId v) {
     return report;
 }
 
+void DistributedXheal::on_compact(Graph& g, const std::vector<NodeId>& old_to_new) {
+    inner_.on_compact(g, old_to_new);
+    // Between repairs the network is always drained (every phase ends in a
+    // full run()), so the mailbox directory can be rekeyed wholesale. Dead
+    // nodes already left the network when their deletion was repaired.
+    if (attached_) net_.remap_nodes(old_to_new);
+}
+
 void DistributedXheal::check_consistency(const Graph& g) const {
     inner_.check_consistency(g);
     // Every alive graph node must have a network actor once attached.

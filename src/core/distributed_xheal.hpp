@@ -55,6 +55,8 @@ public:
     std::string_view name() const override { return "xheal-dist"; }
     void on_insert(graph::Graph& g, graph::NodeId v) override;
     RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
+    void on_compact(graph::Graph& g,
+                    const std::vector<graph::NodeId>& old_to_new) override;
     void check_consistency(const graph::Graph& g) const override;
     void set_network_faults(const NetFaults& faults) override;
 

@@ -84,6 +84,21 @@ public:
         return {};
     }
 
+    /// Id-compaction epoch (DESIGN.md decision 12): the session renumbered
+    /// the live node ids through the ascending dense map `old_to_new`
+    /// (indexed by old id; invalid_node marks a retired id). The graphs are
+    /// already rewritten when this fires; implementations remap any
+    /// id-bearing internal state (cloud registries, mailbox keys). Only
+    /// ever called on a fully healed graph — no staged repairs, no
+    /// in-flight messages. Must not draw from any rng stream: compaction is
+    /// a pure renumbering and replay depends on the draw sequence being
+    /// untouched. Default: stateless healers have nothing to remap.
+    virtual void on_compact(graph::Graph& g,
+                            const std::vector<graph::NodeId>& old_to_new) {
+        (void)g;
+        (void)old_to_new;
+    }
+
     /// Optional deep self-check (registry/claims consistency). Throws on
     /// violation. Default: no internal state to check.
     virtual void check_consistency(const graph::Graph& g) const { (void)g; }

@@ -1,5 +1,6 @@
 #include "core/session.hpp"
 
+#include "core/invariants.hpp"
 #include "util/expects.hpp"
 
 namespace xheal::core {
@@ -75,6 +76,32 @@ RepairReport HealingSession::flush_staged() {
     RepairReport report = healer_->flush_staged(g_);
     totals_.accumulate(report);
     return report;
+}
+
+const std::vector<NodeId>& HealingSession::compact() {
+    // Purge: a node deleted from G is never consulted in G' again (its
+    // black degree fed A(p) at deletion time), and check_reference_edges
+    // only covers edges between survivors — so after the purge both graphs
+    // carry the identical live id set and can share one compaction map.
+    // This is also what keeps G' itself O(live): the insert-only reference
+    // would otherwise accumulate every id (and edge) ever issued.
+    for (NodeId v = 0; v < ref_.next_id(); ++v)
+        if (ref_.has_node(v) && !g_.has_node(v)) ref_.remove_node(v);
+    g_.compact(compact_map_);
+    ref_.apply_id_map(compact_map_);
+    // Remap the swap-remove pool in place: entry order is part of the
+    // deterministic sampling substrate, so only the ids are rewritten.
+    for (NodeId& v : alive_) v = compact_map_[v];
+    pool_pos_.assign(g_.next_id(), npos);
+    for (std::size_t i = 0; i < alive_.size(); ++i) pool_pos_[alive_[i]] = i;
+    healer_->on_compact(g_, compact_map_);
+    // Post-compact validation: the renumbered claim mirror and the
+    // reference-edge guarantee must hold on the new numbering. Compaction
+    // is rare (waste-threshold triggered), so the O(clouds + edges) sweep
+    // is off the hot path.
+    healer_->check_consistency(g_);
+    check_reference_edges_present(g_, ref_);
+    return compact_map_;
 }
 
 double HealingSession::amortized_messages() const {

@@ -53,6 +53,18 @@ public:
         ref_.set_journal_limit(limit);
     }
 
+    /// Id-compaction epoch (DESIGN.md decision 12). Purges graph-deleted
+    /// nodes out of the reference graph (their G' degrees were consumed by
+    /// the A(p) statistic at deletion time; the reference-edge guarantee
+    /// only covers edges between survivors), then remaps the live ids of
+    /// both graphs densely via the shared ascending map, rebuilds the alive
+    /// pool, notifies the healer (Healer::on_compact) and re-validates the
+    /// claim mirror + reference-edge invariants on the renumbered graphs.
+    /// Requires a fully healed graph: no staged deletions pending. Returns
+    /// the applied old->new map (owned scratch, valid until the next
+    /// compact) so probe engines can permute warm-start state.
+    const std::vector<graph::NodeId>& compact();
+
     std::size_t deletions() const { return deletions_; }
     std::size_t insertions() const { return insertions_; }
     const RepairReport& totals() const { return totals_; }
@@ -88,6 +100,9 @@ private:
     // Swap-remove pool: alive_[pool_pos_[v]] == v for every alive v.
     std::vector<graph::NodeId> alive_;
     std::vector<std::size_t> pool_pos_;
+    // Compaction scratch: the old->new map of the latest epoch, reused so
+    // steady-state compaction allocates nothing once grown.
+    std::vector<graph::NodeId> compact_map_;
 };
 
 }  // namespace xheal::core

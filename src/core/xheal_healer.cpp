@@ -18,6 +18,18 @@ XhealHealer::XhealHealer(XhealConfig config)
 
 void XhealHealer::check_consistency(const Graph& g) const { registry_.verify(g); }
 
+void XhealHealer::on_compact(Graph& g, const std::vector<NodeId>& old_to_new) {
+    // Compaction only fires on a fully healed graph: a batch in flight would
+    // park old-numbering singleton units that the flush could not resolve.
+    XHEAL_EXPECTS(pending_units_.empty());
+    // The event log describes pre-compaction repairs in the old numbering;
+    // retire it rather than remap it (consumers read it per-repair).
+    recycle_events();
+    registry_.remap_ids(old_to_new, g.node_count());
+    // Deliberately no rng_ draw: replay reproduces repairs by consuming the
+    // identical draw sequence, and compaction is a pure renumbering.
+}
+
 RepairReport XhealHealer::on_delete(Graph& g, NodeId v) {
     RepairReport report;
     recycle_events();

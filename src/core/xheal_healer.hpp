@@ -77,6 +77,8 @@ public:
     RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
     RepairReport on_delete_staged(graph::Graph& g, graph::NodeId v) override;
     RepairReport flush_staged(graph::Graph& g) override;
+    void on_compact(graph::Graph& g,
+                    const std::vector<graph::NodeId>& old_to_new) override;
     void check_consistency(const graph::Graph& g) const override;
 
     const CloudRegistry& registry() const { return registry_; }

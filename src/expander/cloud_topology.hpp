@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "expander/hgraph.hpp"
+#include "util/expects.hpp"
 
 namespace xheal::expander {
 
@@ -80,6 +81,20 @@ public:
     /// rebuild trigger. In H-graph mode the cycles are reshuffled in place
     /// (no allocation).
     void rebuild(util::Rng& rng);
+
+    /// Id-compaction support: rewrite the membership through the ascending
+    /// old->new map. The sorted member list stays sorted (monotone map); a
+    /// retained-but-inactive H-graph holds stale members and is fully
+    /// re-assigned on the next upshift, so only an *active* H-graph is
+    /// remapped. No rng draws.
+    void remap_ids(const std::vector<graph::NodeId>& old_to_new) {
+        for (graph::NodeId& u : members_) {
+            XHEAL_EXPECTS(u < old_to_new.size() &&
+                          old_to_new[u] != graph::invalid_node);
+            u = old_to_new[u];
+        }
+        if (hgraph_active_) hgraph_->remap_ids(old_to_new);
+    }
 
     /// True if the simple-graph projection contains edge (a, b).
     bool has_edge(graph::NodeId a, graph::NodeId b) const {

@@ -83,6 +83,18 @@ void HGraph::rebuild(util::Rng& rng) {
     for (std::size_t c = 0; c < d_; ++c) shuffle_cycle(c, rng);
 }
 
+void HGraph::remap_ids(const std::vector<NodeId>& old_to_new) {
+    for (NodeId& id : slot_ids_) {
+        if (id == graph::invalid_node) continue;  // free slot
+        XHEAL_EXPECTS(id < old_to_new.size() &&
+                      old_to_new[id] != graph::invalid_node);
+        id = old_to_new[id];
+    }
+    // The map is monotone over live ids, so the sorted directory stays
+    // sorted under an in-place rewrite.
+    for (auto& [id, slot] : index_) id = old_to_new[id];
+}
+
 void HGraph::insert(NodeId u, util::Rng& rng, SpliceDelta* delta) {
     XHEAL_EXPECTS(!contains(u));
     XHEAL_EXPECTS(size() >= 1);

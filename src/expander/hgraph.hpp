@@ -77,6 +77,13 @@ public:
     /// half-loss reconstruction. Reuses all buffers; no allocation.
     void rebuild(util::Rng& rng);
 
+    /// Id-compaction support: rewrite every member id through the ascending
+    /// old->new map (every member must map to a valid id). Cycles are
+    /// slot-indexed and untouched; only the id <-> slot directory is
+    /// renumbered, and the sorted index stays sorted because the map is
+    /// monotone. No rng draws, no allocation.
+    void remap_ids(const std::vector<graph::NodeId>& old_to_new);
+
     graph::NodeId successor(graph::NodeId u, std::size_t cycle) const;
     graph::NodeId predecessor(graph::NodeId u, std::size_t cycle) const;
 

@@ -72,14 +72,58 @@ void Graph::remove_node(NodeId v) {
     std::vector<NeighborEntry>().swap(slot.row);
 }
 
-std::vector<NodeId> Graph::nodes_sorted() const {
-    auto view = nodes();
-    return std::vector<NodeId>(view.begin(), view.end());
+void Graph::compact(std::vector<NodeId>& old_to_new) {
+    old_to_new.assign(next_id_, invalid_node);
+    NodeId dense = 0;
+    for (NodeId v = 0; v < next_id_; ++v)
+        if (slots_[v].state == SlotState::alive) old_to_new[v] = dense++;
+    apply_id_map(old_to_new);
 }
 
-std::vector<NodeId> Graph::neighbors_sorted(NodeId v) const {
-    auto view = neighbors(v);
-    return std::vector<NodeId>(view.begin(), view.end());
+void Graph::apply_id_map(const std::vector<NodeId>& old_to_new) {
+    XHEAL_EXPECTS(old_to_new.size() == next_id_);
+    // Forward pass: the map is ascending-dense (new <= old), so by the time
+    // slot v moves down to old_to_new[v], every lower target slot has
+    // already been vacated. Row ids are rewritten in place first; the map
+    // is monotone over live ids, so each row stays sorted.
+    NodeId dense = 0;
+    for (NodeId v = 0; v < next_id_; ++v) {
+        Slot& slot = slots_[v];
+        if (slot.state != SlotState::alive) {
+            // Tombstones leave the epoch: the slot is reclaimed wholesale
+            // (its row storage was already recycled by remove_node).
+            XHEAL_EXPECTS(old_to_new[v] == invalid_node);
+            slot.state = SlotState::empty;
+            continue;
+        }
+        NodeId to = old_to_new[v];
+        // The map must be exactly this graph's ascending dense map — this
+        // is what lets a mirrored graph (the purged reference) apply the
+        // same map safely: any live-set mismatch trips here.
+        XHEAL_EXPECTS(to == dense);
+        ++dense;
+        for (NeighborEntry& e : slot.row) {
+            XHEAL_ASSERT(e.first < old_to_new.size() &&
+                         old_to_new[e.first] != invalid_node);
+            e.first = old_to_new[e.first];
+        }
+        if (to != v) {
+            slots_[to] = std::move(slot);
+            slot.state = SlotState::empty;
+            slot.row.clear();
+        }
+    }
+    XHEAL_ASSERT(dense == live_nodes_);
+    // Reclaim the tail: capacity is retained (the next epoch regrows into
+    // it), the Slot objects beyond the live range are destroyed.
+    slots_.resize(live_nodes_);
+    next_id_ = static_cast<NodeId>(live_nodes_);
+    if (journal_limit_ != 0) {
+        // Renumbering invalidates every id a snapshot consumer holds; an
+        // overflowed-empty journal is the "unknown delta, rebuild" signal.
+        journal_.clear();
+        journal_overflow_ = true;
+    }
 }
 
 std::vector<NeighborEntry>::iterator Graph::row_lower_bound(

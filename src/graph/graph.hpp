@@ -13,14 +13,19 @@
 // always present in the healed graph (DESIGN.md decision 1).
 //
 // Storage is a slot-indexed flat adjacency (DESIGN.md decision 2): node ids
-// are allocated monotonically and never reused, so a dense vector of slots
-// indexed directly by NodeId is append-only; deletion flips a tombstone bit.
-// Each live slot holds its adjacency row as a vector sorted by neighbor id,
-// which makes every traversal a linear scan over contiguous memory and makes
+// are allocated monotonically, so a dense vector of slots indexed directly
+// by NodeId is append-only; deletion flips a tombstone bit. Each live slot
+// holds its adjacency row as a vector sorted by neighbor id, which makes
+// every traversal a linear scan over contiguous memory and makes
 // deterministic (ascending) iteration free. Traversal goes through the
-// allocation-free NodesView / NeighborsView ranges; the legacy
-// nodes_sorted() / neighbors_sorted() shims materialize vectors and remain
-// only for tests (sampling call sites use HealingSession::alive_pool()).
+// allocation-free NodesView / NeighborsView ranges.
+//
+// Within one *epoch* ids are never reused — a tombstoned slot stays dead.
+// compact() (DESIGN.md decision 12) closes an epoch: live ids are remapped
+// densely onto [0, node_count()) in ascending order, tombstones and their
+// slot storage are reclaimed, and the next epoch allocates from the dense
+// top. Because the map is order-preserving, every sorted structure (rows,
+// claim mirrors, member lists) stays sorted under an in-place rewrite.
 #pragma once
 
 #include <algorithm>
@@ -295,11 +300,13 @@ public:
 
     /// Insert a node with a caller-chosen id (used to mirror ids between G
     /// and G'). The id must not be present and must not have been retired:
-    /// ids are never reused, so a tombstoned slot stays dead forever.
+    /// within an epoch ids are never reused, so a tombstoned slot stays
+    /// dead until the next compact().
     void add_node_with_id(NodeId v);
 
     /// Remove a node and all incident edges (all claims). Requires presence.
-    /// The slot becomes a tombstone; the id is never handed out again.
+    /// The slot becomes a tombstone; the id is not handed out again until a
+    /// compaction epoch reclaims it.
     void remove_node(NodeId v);
 
     bool has_node(NodeId v) const {
@@ -307,10 +314,29 @@ public:
     }
     std::size_t node_count() const { return live_nodes_; }
 
-    /// All node ids in ascending order. Deprecated materializing shim —
-    /// kept for tests only; traversals should use nodes() and sampling
-    /// should use HealingSession::alive_pool().
-    std::vector<NodeId> nodes_sorted() const;
+    // ----- id compaction (DESIGN.md decision 12) -----
+
+    /// Dead/empty slots currently addressable, i.e. next_id() minus the
+    /// live population: the id-space waste a compaction would reclaim.
+    std::size_t retired_slots() const { return next_id_ - live_nodes_; }
+
+    /// Close the current id epoch: build the ascending dense old->new map
+    /// of the live ids (dense id = rank of the old id among live ids) into
+    /// `old_to_new` — sized to the pre-compaction next_id(), invalid_node
+    /// for dead/empty ids — and apply it via apply_id_map(). The caller's
+    /// vector is reused scratch, so steady-state compaction allocates
+    /// nothing once capacities have grown.
+    void compact(std::vector<NodeId>& old_to_new);
+
+    /// Apply an externally built compaction map: must be exactly the
+    /// ascending dense map of THIS graph's live id set (mirrored graphs —
+    /// G and a purged G' — share one map). Rewrites every row id in place
+    /// (order-preserving, so rows stay sorted), slides live slots down to
+    /// their dense position, reclaims tombstoned slot storage and resets
+    /// next_id() to node_count(). Degrees are unchanged. An enabled
+    /// structure journal is cleared and flagged overflowed: renumbering
+    /// invalidates incremental snapshots, forcing consumers to rebuild.
+    void apply_id_map(const std::vector<NodeId>& old_to_new);
 
     // ----- edges / claims -----
 
@@ -344,10 +370,6 @@ public:
         return slots_[v].row.size();
     }
     std::size_t edge_count() const { return edge_count_; }
-
-    /// Neighbors of v in ascending id order. Deprecated materializing shim —
-    /// kept for tests only; traversals should use neighbors() or row().
-    std::vector<NodeId> neighbors_sorted(NodeId v) const;
 
     /// Deprecated alias of row(v); the old hash-of-hashes accessor. The
     /// entries are (neighbor, claims) pairs, now in ascending neighbor

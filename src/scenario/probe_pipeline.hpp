@@ -106,6 +106,21 @@ public:
     /// into stall_seconds()).
     double drain();
 
+    /// Id-compaction support. Requires a drained pipeline (no job in
+    /// flight): both slots' snapshots hold retired ids and are invalidated,
+    /// and the worker engine's warm-start vector is permuted so the next
+    /// lambda2 solve still warm-starts. Touching engine_ from the stepping
+    /// thread is safe here — drain()'s acquire of each slot's kDone
+    /// synchronizes with the worker's release after its last engine use.
+    void on_compact(const std::vector<graph::NodeId>& old_to_new) {
+        for (Slot& slot : slots_) {
+            XHEAL_EXPECTS(slot.state.load(std::memory_order_acquire) == kFree);
+            slot.snap.invalidate();
+            slot.ref_snap.invalidate();
+        }
+        engine_.on_compact(old_to_new);
+    }
+
     /// Total stepping-thread seconds spent blocked on the worker.
     double stall_seconds() const { return stall_seconds_; }
 

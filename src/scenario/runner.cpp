@@ -96,6 +96,7 @@ ScenarioRunner::Probes ScenarioRunner::final_probes() const {
             case Expectation::Kind::lambda2_ge: probes.lambda2 = true; break;
             case Expectation::Kind::stretch_le: probes.stretch = true; break;
             case Expectation::Kind::nodes_ge: break;
+            case Expectation::Kind::peak_slot_factor_le: break;
         }
     }
     return probes;
@@ -238,6 +239,19 @@ void ScenarioRunner::evaluate_expectations(RunResult& result) const {
                     result.failures.push_back("nodes: wanted >= " + fmt(e.value) + ", got " +
                                               std::to_string(fin.nodes));
                 break;
+            case Expectation::Kind::peak_slot_factor_le: {
+                double factor = result.live_high_water == 0
+                                    ? 0.0
+                                    : static_cast<double>(result.peak_slot_count) /
+                                          static_cast<double>(result.live_high_water);
+                if (!(factor <= e.value))
+                    result.failures.push_back(
+                        "peak_slot_factor: wanted <= " + fmt(e.value) + ", got " +
+                        fmt(factor) + " (" + std::to_string(result.peak_slot_count) +
+                        " slots / " + std::to_string(result.live_high_water) +
+                        " live high-water)");
+                break;
+            }
         }
     }
 }
@@ -364,6 +378,41 @@ RunResult ScenarioRunner::run() {
                 // through to an insert; deletion-only phases just skip.
                 if (!did_event && fraction < 1.0) did_event = try_insert(global_step);
                 if (!did_event) ++stats.skipped;
+            }
+            // Slot address-space accounting, sampled before any compaction
+            // so the peak reflects the waste the epoch actually reached.
+            result.live_high_water =
+                std::max(result.live_high_water, session_.current().node_count());
+            result.peak_slot_count = std::max<std::size_t>(
+                result.peak_slot_count, session_.current().next_id());
+            // Id-compaction epoch (`compact=K`, DESIGN.md decision 12):
+            // close the epoch once the issued id space has outgrown the
+            // live population K-fold. The canonical trace event precedes
+            // the renumbering; every id in later events is new-numbering.
+            if (phase.compact != 0 &&
+                session_.current().next_id() > session_.current().node_count() &&
+                session_.current().next_id() >=
+                    phase.compact *
+                        std::max<std::size_t>(session_.current().node_count(), 1)) {
+                flush_batch();  // compaction requires a fully healed graph
+                TraceEvent event;
+                event.kind = TraceEvent::Kind::compact;
+                event.step = global_step;
+                event.phase = static_cast<std::uint32_t>(phase_index);
+                event.node =
+                    static_cast<graph::NodeId>(session_.current().node_count());
+                hasher.add(event);
+                result.events.push_back(std::move(event));
+                const std::vector<graph::NodeId>& map = session_.compact();
+                if (use_async) {
+                    // The worker must not touch pre-compaction snapshots or
+                    // warm-start state once ids move: join, then permute.
+                    loop_probe_seconds += pipeline->drain();
+                    pipeline->on_compact(map);
+                } else {
+                    probe_engine_.on_compact(map);
+                }
+                ++result.compactions;
             }
             ++global_step;
             // The final sample (superset probes) covers the last step.
@@ -508,7 +557,7 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
                 stats->rounds.add(static_cast<double>(report.rounds));
                 ++stats->deletions;
             }
-        } else {
+        } else if (event.kind == TraceEvent::Kind::insert) {
             flush_batch();  // run() flushes before every successful insert
             graph::NodeId got = session_.insert_node(event.neighbors);
             if (got != event.node)
@@ -516,11 +565,29 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
                                          " inserted node " + std::to_string(got) +
                                          ", trace recorded " + std::to_string(event.node));
             if (stats != nullptr) ++stats->insertions;
+        } else {
+            // Epoch boundary: replay compacts where the trace says run()
+            // did — no condition re-evaluation, the recorded event is the
+            // canonical decision. `live` doubles as a divergence check.
+            flush_batch();  // run() flushes before compacting
+            result.peak_slot_count = std::max<std::size_t>(result.peak_slot_count,
+                                                           session_.current().next_id());
+            if (session_.current().node_count() != event.node)
+                throw std::runtime_error(
+                    "replay diverged: compact at step " + std::to_string(event.step) +
+                    " recorded " + std::to_string(event.node) + " live nodes, have " +
+                    std::to_string(session_.current().node_count()));
+            probe_engine_.on_compact(session_.compact());
+            ++result.compactions;
         }
         hasher.add(event);
         prev_step = event.step;
         have_prev = true;
         result.steps_done = event.step + 1;
+        result.live_high_water =
+            std::max(result.live_high_water, session_.current().node_count());
+        result.peak_slot_count = std::max<std::size_t>(result.peak_slot_count,
+                                                       session_.current().next_id());
     }
     flush_batch();
 

@@ -134,6 +134,14 @@ struct RunResult {
     /// rows patched in place, summed over current + reference snapshots.
     std::uint64_t probe_rebuilds = 0;
     std::uint64_t probe_patched_events = 0;
+    /// Id-compaction accounting (DESIGN.md decision 12): epochs closed, the
+    /// largest slot address space ever held (max next_id, sampled per step
+    /// before any compaction fires) and the largest live population. Their
+    /// ratio is the `expect peak_slot_factor <=` bound — the O(live) memory
+    /// guarantee of compacting runs.
+    std::size_t compactions = 0;
+    std::size_t peak_slot_count = 0;
+    std::size_t live_high_water = 0;
     /// Expectation failures ("metric: wanted X, got Y"); empty = PASS.
     std::vector<std::string> failures;
 

@@ -180,6 +180,8 @@ std::string Expectation::to_text() const {
         case Kind::lambda2_ge: return "expect lambda2 >= " + std::to_string(value);
         case Kind::stretch_le: return "expect stretch <= " + std::to_string(value);
         case Kind::nodes_ge: return "expect nodes >= " + std::to_string(value);
+        case Kind::peak_slot_factor_le:
+            return "expect peak_slot_factor <= " + std::to_string(value);
     }
     return "expect ?";
 }
@@ -217,6 +219,7 @@ std::string ScenarioSpec::to_text() const {
         if (p.batch != 1) out << " batch=" << p.batch;
         if (p.drop.has_value()) out << " drop=" << *p.drop;
         if (p.latency.has_value()) out << " latency=" << *p.latency;
+        if (p.compact != 0) out << " compact=" << p.compact;
         out << " delete_fraction=" << p.delete_fraction;
         if (p.delete_fraction_end.has_value()) out << ".." << *p.delete_fraction_end;
         out << " min_nodes=" << p.min_nodes;
@@ -307,6 +310,10 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
                     phase.drop = p;
                 } else if (key == "latency") {
                     phase.latency = parse_u64_or_fail(value, "latency", line_no);
+                } else if (key == "compact") {
+                    phase.compact = parse_u64_or_fail(value, "compact", line_no);
+                    if (phase.compact == 1)
+                        fail(line_no, "compact factor must be 0 (off) or >= 2");
                 } else if (key == "delete_fraction") {
                     if (value.find("..") != std::string::npos)
                         parse_ramp(value, phase, line_no);
@@ -365,6 +372,8 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
                     e.kind = Expectation::Kind::stretch_le;
                 } else if (metric == "nodes" && op == ">=") {
                     e.kind = Expectation::Kind::nodes_ge;
+                } else if (metric == "peak_slot_factor" && op == "<=") {
+                    e.kind = Expectation::Kind::peak_slot_factor_le;
                 } else {
                     fail(line_no, "unsupported expectation '" + metric + " " + op + "'");
                 }

@@ -56,6 +56,15 @@
 //   latency=L         — extra delivery delay in rounds for this phase
 //                       (messages arrive after 1 + L rounds).
 //
+// Id-compaction key (DESIGN.md decision 12; long-churn runs):
+//
+//   phase churn steps=100000 delete_fraction=0.5 compact=4
+//
+//   compact=K         — after any step of this phase where the issued id
+//                       space has outgrown the live population K-fold, the
+//                       session compacts the id space (dense renumbering)
+//                       and records a `compact` trace event. 0/absent = off.
+//
 // `to_text()` emits the same grammar, and parse(to_text()) round-trips.
 #pragma once
 
@@ -119,6 +128,13 @@ struct PhaseSpec {
     /// the healer's base fault model. No-ops for non-distributed healers.
     std::optional<double> drop;
     std::optional<std::size_t> latency;
+    /// Id-compaction waste factor (`compact=K`, DESIGN.md decision 12):
+    /// after each step of this phase, if the issued id space exceeds K times
+    /// the live population (next_id >= K * max(live, 1) and at least one id
+    /// is retired), the session compacts and a `compact` event is traced.
+    /// 0 = off (the default — legacy specs never compact, so their traces
+    /// and fingerprints are byte-identical to pre-compaction builds).
+    std::size_t compact = 0;
     std::size_t min_nodes = 4;  ///< never delete at or below this population
     ComponentSpec deleter{"random", {}};
     /// Non-empty = composite deleter (grammar v2 `deleter=k1:w1,k2:w2`);
@@ -142,6 +158,7 @@ struct Expectation {
         lambda2_ge,           ///< algebraic connectivity >= value
         stretch_le,           ///< sampled stretch <= value
         nodes_ge,             ///< final population >= value
+        peak_slot_factor_le,  ///< peak slot count <= value * live high-water
     };
     Kind kind = Kind::connected;
     double value = 0.0;

@@ -63,7 +63,11 @@ void TraceHasher::mix(std::uint64_t word) {
 }
 
 void TraceHasher::add(const TraceEvent& event) {
-    mix(event.kind == TraceEvent::Kind::insert ? 1 : 2);
+    switch (event.kind) {
+        case TraceEvent::Kind::insert: mix(1); break;
+        case TraceEvent::Kind::remove: mix(2); break;
+        case TraceEvent::Kind::compact: mix(3); break;
+    }
     mix(event.step);
     mix(event.phase);
     mix(event.node);
@@ -102,6 +106,9 @@ std::string event_to_json(const TraceEvent& e) {
         for (std::size_t i = 0; i < e.neighbors.size(); ++i)
             out << (i ? "," : "") << e.neighbors[i];
         out << "]}";
+    } else if (e.kind == TraceEvent::Kind::compact) {
+        out << "{\"type\":\"compact\",\"step\":" << e.step << ",\"phase\":" << e.phase
+            << ",\"live\":" << e.node << "}";
     } else {
         out << "{\"type\":\"delete\",\"step\":" << e.step << ",\"phase\":" << e.phase
             << ",\"node\":" << e.node << "}";
@@ -155,6 +162,14 @@ Trace read_trace(std::istream& in) {
                         e.neighbors.push_back(
                             static_cast<graph::NodeId>(std::strtoull(item.c_str(), nullptr, 10)));
             }
+            trace.events.push_back(std::move(e));
+        } else if (type == "compact") {
+            if (saw_end) fail(line_no, "event after end record");
+            TraceEvent e;
+            e.kind = TraceEvent::Kind::compact;
+            e.step = extract_u64(line, "step", line_no);
+            e.phase = static_cast<std::uint32_t>(extract_u64(line, "phase", line_no));
+            e.node = static_cast<graph::NodeId>(extract_u64(line, "live", line_no));
             trace.events.push_back(std::move(e));
         } else if (type == "end") {
             std::uint64_t events = extract_u64(line, "events", line_no);

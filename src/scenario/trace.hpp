@@ -11,7 +11,14 @@
 //   {"type":"header","scenario":"phased-churn","seed":42,"spec_hash":"0x..."}
 //   {"type":"insert","step":3,"phase":0,"node":65,"neighbors":[2,9,41]}
 //   {"type":"delete","step":4,"phase":0,"node":17}
+//   {"type":"compact","step":7,"phase":1,"live":48}
 //   {"type":"end","events":96,"trace_hash":"0x...","fingerprint":"0x..."}
+//
+// A compact record marks an id-compaction epoch boundary (DESIGN.md decision
+// 12): the session renumbered the live ids densely after this step. Node ids
+// in subsequent events are in the NEW numbering; `live` (stored in
+// TraceEvent::node) is the live-node count — i.e. next_id after the remap —
+// which replay re-derives and checks before compacting its own session.
 #pragma once
 
 #include <cstdint>
@@ -24,11 +31,11 @@
 namespace xheal::scenario {
 
 struct TraceEvent {
-    enum class Kind { insert, remove };
+    enum class Kind { insert, remove, compact };
     Kind kind = Kind::remove;
     std::uint64_t step = 0;   ///< global step index (0-based)
     std::uint32_t phase = 0;  ///< index into the spec's phase list
-    graph::NodeId node = graph::invalid_node;
+    graph::NodeId node = graph::invalid_node;  ///< compact: live-node count
     std::vector<graph::NodeId> neighbors;  ///< insert only: attach set
 
     friend bool operator==(const TraceEvent&, const TraceEvent&) = default;

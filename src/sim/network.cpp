@@ -37,6 +37,23 @@ void Network::set_handler(graph::NodeId id, Handler handler) {
     handlers_[id] = std::move(handler);
 }
 
+void Network::remap_nodes(const std::vector<graph::NodeId>& old_to_new) {
+    XHEAL_EXPECTS(idle());
+    XHEAL_EXPECTS(!stepping_);
+    // Rekey through scratch: extracting while iterating an unordered_map
+    // with mutated keys is UB territory, and the handler std::functions must
+    // move, not copy (they may own captured state).
+    std::vector<std::pair<graph::NodeId, Handler>> moved;
+    moved.reserve(handlers_.size());
+    for (auto& [id, handler] : handlers_) {
+        XHEAL_EXPECTS(id < old_to_new.size() &&
+                      old_to_new[id] != graph::invalid_node);
+        moved.emplace_back(old_to_new[id], std::move(handler));
+    }
+    handlers_.clear();
+    for (auto& [id, handler] : moved) handlers_.emplace(id, std::move(handler));
+}
+
 void Network::post(Message m) { enqueue(std::move(m), /*faultable=*/true); }
 
 void Network::post(graph::NodeId from, graph::NodeId to, int type,

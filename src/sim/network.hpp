@@ -80,6 +80,14 @@ public:
     bool has_node(graph::NodeId id) const { return handlers_.contains(id); }
     std::size_t node_count() const { return handlers_.size(); }
 
+    /// Id-compaction support: rekey every registered node through the
+    /// old->new map (every registered id must map to a valid new id, and the
+    /// map must be injective over them). Requires a quiescent network — no
+    /// messages in flight, not inside step() — since stamped messages carry
+    /// old ids. Handlers move; the drop stream, counters and fault model are
+    /// untouched.
+    void remap_nodes(const std::vector<graph::NodeId>& old_to_new);
+
     /// Replace a node's handler. Safe to call from inside a handler
     /// (including node `id`'s own executing handler): the swap is deferred
     /// until the current step()'s delivery loop completes, so the live

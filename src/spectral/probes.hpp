@@ -213,6 +213,33 @@ public:
         snapshot_valid_ = false;
     }
 
+    /// Id-compaction support: both snapshots hold renumbered rows now, so
+    /// they are invalidated (the graphs' cleared-overflowed journals force
+    /// the same on the next note() anyway), and the warm-start Ritz vector
+    /// is permuted through the old->new map so the next lambda2 solve still
+    /// warm-starts — compaction must not cost a cold solve. Entries of
+    /// retired ids (dead since the last sample) are dropped; values are
+    /// untouched, so the permuted vector scatters exactly as the old one
+    /// would onto surviving rows.
+    void on_compact(const std::vector<graph::NodeId>& old_to_new) {
+        snap_.invalidate();
+        ref_snap_.invalidate();
+        if (!has_warm_) return;
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < warm_ids_.size(); ++i) {
+            graph::NodeId id = warm_ids_[i];
+            graph::NodeId to =
+                id < old_to_new.size() ? old_to_new[id] : graph::invalid_node;
+            if (to == graph::invalid_node) continue;
+            warm_ids_[keep] = to;
+            warm_vec_[keep] = warm_vec_[i];
+            ++keep;
+        }
+        warm_ids_.resize(keep);
+        warm_vec_.resize(keep);
+        has_warm_ = keep != 0;
+    }
+
     /// Full CSR rebuilds / rows-patched-in-place performed so far, summed
     /// over the main and reference snapshots. Surfaced per run as the
     /// `probe_rebuilds` / `probe_patched_events` counters.

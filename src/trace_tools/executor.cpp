@@ -83,6 +83,26 @@ ExecResult TraceExecutor::execute(const ScenarioSpec& spec,
                     break;
                 }
             }
+        } else if (event.kind == TraceEvent::Kind::compact) {
+            // Epoch boundaries stay in the canonical stream (fuzzed streams
+            // may move them anywhere); the live count is rewritten to what
+            // this execution actually holds, so the canonical event carries
+            // the value strict replay will verify. Compacting an already
+            // dense id space is a valid identity renumbering.
+            canonical = event;
+            canonical.neighbors.clear();
+            canonical.step = result.applied.size();
+            canonical.node =
+                static_cast<graph::NodeId>(session.current().node_count());
+            hasher.add(canonical);
+            result.applied.push_back(std::move(canonical));
+            applied = true;
+            try {
+                probe_engine_.on_compact(session.compact());
+            } catch (const std::exception& e) {
+                record_exception(e);
+                break;
+            }
         } else {
             canonical = event;
             canonical.neighbors.erase(

@@ -47,16 +47,31 @@ std::vector<std::string> corpus_names() {
 }  // namespace
 
 // An empty corpus would make the replay suite below pass vacuously; the
-// checked-in seed set (faulty-healer finds, incl. one grammar-v2 spec) is
-// three pairs, and every .scn must have its .jsonl.
+// checked-in seed set (faulty-healer finds, incl. one grammar-v2 spec and
+// one compact-epoch stream) is four pairs, and every .scn must have its
+// .jsonl.
 TEST(CorpusReplay, CorpusIsPresentAndPaired) {
     auto names = corpus_names();
-    EXPECT_GE(names.size(), 3u);
+    EXPECT_GE(names.size(), 4u);
     for (const auto& name : names) {
         SCOPED_TRACE(name);
         EXPECT_TRUE(std::filesystem::exists(corpus_dir() / (name + ".jsonl")))
             << name << ".scn has no recorded stream";
     }
+}
+
+// The id-compaction epoch (DESIGN.md decision 12) is part of the trace
+// format; at least one reproducer must carry a compact event so format
+// drift there cannot go unnoticed by the corpus.
+TEST(CorpusReplay, CorpusCoversCompactEvents) {
+    bool found = false;
+    for (const auto& name : corpus_names()) {
+        auto trace = scenario::read_trace_file(
+            (corpus_dir() / (name + ".jsonl")).string());
+        for (const auto& event : trace.events)
+            if (event.kind == scenario::TraceEvent::Kind::compact) found = true;
+    }
+    EXPECT_TRUE(found) << "no corpus reproducer carries a compact event";
 }
 
 class CorpusReplay : public ::testing::TestWithParam<std::string> {};

@@ -64,7 +64,7 @@ void mutate(Graph& g, util::Rng& rng) {
         for (int tries = 0; tries < 8; ++tries) {
             NodeId u = alive[rng.index(alive.size())];
             if (g.degree(u) == 0) continue;
-            auto nbrs = g.neighbors_sorted(u);
+            auto nbrs = g.neighbors(u);
             g.remove_black_claim(u, nbrs[rng.index(nbrs.size())]);
             break;
         }

@@ -77,7 +77,7 @@ TEST(DistributedProtocol, InsertMemberIsConstantCost) {
 
     // Find and delete a bridge (non-free node).
     NodeId bridge = xheal::graph::invalid_node;
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         if (!healer.registry().is_free(v)) bridge = v;
     }
     ASSERT_NE(bridge, xheal::graph::invalid_node);
@@ -97,13 +97,13 @@ TEST(DistributedProtocol, CombineFloodCoversCombinedCloud) {
     DistributedXheal healer(XhealConfig{1, 23});
     for (int step = 0; step < 200 && g.node_count() > 4; ++step) {
         NodeId victim = xheal::graph::invalid_node;
-        for (NodeId v : g.nodes_sorted()) {
+        for (NodeId v : g.nodes()) {
             if (!healer.registry().is_free(v)) {
                 victim = v;
                 break;
             }
         }
-        if (victim == xheal::graph::invalid_node) victim = g.nodes_sorted().front();
+        if (victim == xheal::graph::invalid_node) victim = g.nodes().front();
         auto report = healer.on_delete(g, victim);
         if (report.combines == 0) continue;
 
@@ -150,8 +150,8 @@ TEST(DistributedProtocol, LossyRepairConvergesToLosslessGraph) {
     std::uint64_t messages_perfect = 0, messages_lossy = 0;
     std::size_t retries_total = 0;
     while (g_perfect.node_count() > 6) {
-        NodeId victim = g_perfect.nodes_sorted().front();
-        ASSERT_EQ(victim, g_lossy.nodes_sorted().front());
+        NodeId victim = g_perfect.nodes().front();
+        ASSERT_EQ(victim, g_lossy.nodes().front());
         auto rp = perfect.on_delete(g_perfect, victim);
         auto rl = lossy.on_delete(g_lossy, victim);
         EXPECT_EQ(rp.retries, 0u);
@@ -174,7 +174,7 @@ TEST(DistributedProtocol, LossyRunsAreDeterministic) {
         std::uint64_t messages = 0;
         std::size_t rounds = 0, retries = 0;
         while (g.node_count() > 8) {
-            auto r = healer.on_delete(g, g.nodes_sorted().front());
+            auto r = healer.on_delete(g, g.nodes().front());
             messages += r.messages;
             rounds += r.rounds;
             retries += r.retries;
@@ -214,14 +214,14 @@ TEST(DistributedProtocol, CombineFloodSurvivesDrops) {
     bool combined = false;
     for (int step = 0; step < 200 && g_perfect.node_count() > 4; ++step) {
         NodeId victim = xheal::graph::invalid_node;
-        for (NodeId v : g_perfect.nodes_sorted()) {
+        for (NodeId v : g_perfect.nodes()) {
             if (!perfect.registry().is_free(v)) {
                 victim = v;
                 break;
             }
         }
         if (victim == xheal::graph::invalid_node)
-            victim = g_perfect.nodes_sorted().front();
+            victim = g_perfect.nodes().front();
         auto rp = perfect.on_delete(g_perfect, victim);
         lossy.on_delete(g_lossy, victim);
         ASSERT_EQ(xheal::scenario::graph_fingerprint(g_perfect),
@@ -237,9 +237,9 @@ TEST(DistributedProtocol, ActorLifecycleTracksGraph) {
     DistributedXheal healer(XhealConfig{2, 11});
     healer.on_delete(g, 0);
     EXPECT_FALSE(healer.network().has_node(0));
-    for (NodeId v : g.nodes_sorted()) EXPECT_TRUE(healer.network().has_node(v));
+    for (NodeId v : g.nodes()) EXPECT_TRUE(healer.network().has_node(v));
     NodeId w = g.add_node();
-    g.add_black_edge(w, g.nodes_sorted().front());
+    g.add_black_edge(w, g.nodes().front());
     healer.on_insert(g, w);
     EXPECT_TRUE(healer.network().has_node(w));
 }

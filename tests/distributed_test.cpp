@@ -119,13 +119,13 @@ TEST(Distributed, CombineChargesFloodTraffic) {
     for (int step = 0; step < 200 && g.node_count() > 4; ++step) {
         // Prefer bridges (non-free nodes).
         NodeId victim = xheal::graph::invalid_node;
-        for (NodeId v : g.nodes_sorted()) {
+        for (NodeId v : g.nodes()) {
             if (!healer.registry().is_free(v)) {
                 victim = v;
                 break;
             }
         }
-        if (victim == xheal::graph::invalid_node) victim = g.nodes_sorted().front();
+        if (victim == xheal::graph::invalid_node) victim = g.nodes().front();
         auto report = healer.on_delete(g, victim);
         if (report.combines > 0) {
             combined = true;

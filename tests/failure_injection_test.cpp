@@ -83,7 +83,7 @@ TEST(FailureInjection, CascadeToMinimumGraph) {
         while (g.node_count() > 2) {
             NodeId victim = xheal::graph::invalid_node;
             std::size_t best = 0;
-            for (NodeId v : g.nodes_sorted()) {
+            for (NodeId v : g.nodes()) {
                 std::size_t colored = 0;
                 for (const auto& [u, claims] : g.adjacency(v)) {
                     (void)u;

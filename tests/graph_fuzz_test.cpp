@@ -90,8 +90,13 @@ TEST(GraphFuzz, RandomOperationSequenceMatchesModel) {
         for (int i = 0; i < 8; ++i) model.add_node(g.add_node());
 
         auto random_node = [&]() -> NodeId {
-            auto nodes = g.nodes_sorted();
-            return nodes[rng.index(nodes.size())];
+            // Draw a position over the live view, then walk to it: same
+            // distribution as indexing the old materialized list.
+            auto view = g.nodes();
+            std::size_t at = rng.index(view.size());
+            auto it = view.begin();
+            std::advance(it, static_cast<std::ptrdiff_t>(at));
+            return *it;
         };
 
         for (int step = 0; step < 1200; ++step) {

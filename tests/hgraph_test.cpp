@@ -42,7 +42,7 @@ TEST(HGraph, ProjectedDegreeAtMostKappa) {
     Rng rng(2);
     HGraph h(ids(30), 4, rng);
     auto g = project(h);
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         EXPECT_LE(g.degree(v), h.kappa());
         EXPECT_GE(g.degree(v), 2u);  // at least the two neighbors of one cycle
     }

@@ -21,7 +21,7 @@ TEST(Workload, PathShape) {
 TEST(Workload, CycleShape) {
     auto g = wl::make_cycle(10);
     EXPECT_EQ(g.edge_count(), 10u);
-    for (NodeId v : g.nodes_sorted()) EXPECT_EQ(g.degree(v), 2u);
+    for (NodeId v : g.nodes()) EXPECT_EQ(g.degree(v), 2u);
 }
 
 TEST(Workload, StarShape) {
@@ -34,7 +34,7 @@ TEST(Workload, StarShape) {
 TEST(Workload, CompleteShape) {
     auto g = wl::make_complete(7);
     EXPECT_EQ(g.edge_count(), 21u);
-    for (NodeId v : g.nodes_sorted()) EXPECT_EQ(g.degree(v), 6u);
+    for (NodeId v : g.nodes()) EXPECT_EQ(g.degree(v), 6u);
 }
 
 TEST(Workload, GridShape) {
@@ -46,14 +46,14 @@ TEST(Workload, GridShape) {
 
 TEST(Workload, TorusIsFourRegular) {
     auto g = wl::make_torus(4, 5);
-    for (NodeId v : g.nodes_sorted()) EXPECT_EQ(g.degree(v), 4u);
+    for (NodeId v : g.nodes()) EXPECT_EQ(g.degree(v), 4u);
     EXPECT_TRUE(is_connected(g));
 }
 
 TEST(Workload, HypercubeShape) {
     auto g = wl::make_hypercube(4);
     EXPECT_EQ(g.node_count(), 16u);
-    for (NodeId v : g.nodes_sorted()) EXPECT_EQ(g.degree(v), 4u);
+    for (NodeId v : g.nodes()) EXPECT_EQ(g.degree(v), 4u);
     EXPECT_EQ(diameter_exact(g), std::optional<std::size_t>{4});
 }
 
@@ -76,7 +76,7 @@ TEST(Workload, RandomRegularIsRegularAndSimple) {
     Rng rng(4);
     for (std::size_t d : {3u, 4u, 6u}) {
         auto g = wl::make_random_regular(30, d, rng);
-        for (NodeId v : g.nodes_sorted()) EXPECT_EQ(g.degree(v), d);
+        for (NodeId v : g.nodes()) EXPECT_EQ(g.degree(v), d);
         EXPECT_EQ(g.edge_count(), 30u * d / 2);
         EXPECT_TRUE(is_connected(g));
     }
@@ -95,7 +95,7 @@ TEST(Workload, BarabasiAlbertShape) {
     EXPECT_EQ(g.edge_count(), 6u + 46u * 3u);
     EXPECT_TRUE(is_connected(g));
     // Newcomers have degree >= m = 3.
-    for (NodeId v : g.nodes_sorted()) EXPECT_GE(g.degree(v), 3u);
+    for (NodeId v : g.nodes()) EXPECT_GE(g.degree(v), 3u);
 }
 
 TEST(Workload, BarabasiAlbertHasHubs) {
@@ -116,7 +116,7 @@ TEST(Workload, PetersenShape) {
     auto g = wl::make_petersen();
     EXPECT_EQ(g.node_count(), 10u);
     EXPECT_EQ(g.edge_count(), 15u);
-    for (NodeId v : g.nodes_sorted()) EXPECT_EQ(g.degree(v), 3u);
+    for (NodeId v : g.nodes()) EXPECT_EQ(g.degree(v), 3u);
     EXPECT_EQ(diameter_exact(g), std::optional<std::size_t>{2});
 }
 
@@ -125,7 +125,7 @@ TEST(Workload, HGraphProjectionShape) {
     auto g = wl::make_hgraph_graph(50, 3, rng);
     EXPECT_EQ(g.node_count(), 50u);
     EXPECT_TRUE(is_connected(g));
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         EXPECT_GE(g.degree(v), 2u);
         EXPECT_LE(g.degree(v), 6u);
     }

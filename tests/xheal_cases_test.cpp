@@ -62,7 +62,7 @@ TEST(XhealCases, SecondaryDissolutionFreesLastBridge) {
     // Delete bridges (non-free nodes) until the original secondary is gone.
     for (int guard = 0; guard < 6 && count_kind(reg, CloudKind::secondary) > 0; ++guard) {
         NodeId bridge = xheal::graph::invalid_node;
-        for (NodeId v : g.nodes_sorted()) {
+        for (NodeId v : g.nodes()) {
             if (!reg.is_free(v)) {
                 bridge = v;
                 break;
@@ -86,13 +86,13 @@ TEST(XhealCases, CombineTriggersWhenFreeNodesRunOut) {
     std::size_t combines = 0;
     for (int step = 0; step < 200 && g.node_count() > 4; ++step) {
         NodeId victim = xheal::graph::invalid_node;
-        for (NodeId v : g.nodes_sorted()) {
+        for (NodeId v : g.nodes()) {
             if (!healer.registry().is_free(v)) {
                 victim = v;
                 break;
             }
         }
-        if (victim == xheal::graph::invalid_node) victim = g.nodes_sorted().front();
+        if (victim == xheal::graph::invalid_node) victim = g.nodes().front();
         auto report = healer.on_delete(g, victim);
         combines += report.combines;
         ASSERT_TRUE(xheal::graph::is_connected(g)) << "step " << step;
@@ -110,7 +110,7 @@ TEST(XhealCases, CombinedCloudMembersStayInForeignSecondaries) {
     Graph g = wl::make_erdos_renyi(30, 0.2, rng);
     XhealHealer healer(XhealConfig{1, 13});
     for (int step = 0; step < 120 && g.node_count() > 4; ++step) {
-        auto nodes = g.nodes_sorted();
+        std::vector<NodeId> nodes(g.nodes().begin(), g.nodes().end());
         NodeId victim = nodes[rng.index(nodes.size())];
         healer.on_delete(g, victim);
         ASSERT_NO_THROW(healer.check_consistency(g));
@@ -187,7 +187,7 @@ TEST(XhealCases, EventLogCoversAllOperations) {
     Graph g = wl::make_erdos_renyi(24, 0.25, rng);
     XhealHealer healer(XhealConfig{2, 29});
     for (int step = 0; step < 60 && g.node_count() > 4; ++step) {
-        auto nodes = g.nodes_sorted();
+        std::vector<NodeId> nodes(g.nodes().begin(), g.nodes().end());
         NodeId victim = nodes[rng.index(nodes.size())];
         auto report = healer.on_delete(g, victim);
         if (report.clouds_touched > 0) {

@@ -41,7 +41,7 @@ TEST(XhealCase1, StarCenterBecomesExpanderWhenLarge) {
     auto healer = make_healer(2);  // kappa = 4
     healer->on_delete(g, 0);
     EXPECT_TRUE(xheal::graph::is_connected(g));
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         EXPECT_GE(g.degree(v), 2u);
         EXPECT_LE(g.degree(v), 4u);  // kappa-regular expander, not a clique
     }
@@ -159,7 +159,7 @@ TEST_F(TwoCloudFixture, BridgeDeletionFixesSecondary) {
     const auto& reg = healer->registry();
     // Find a bridge associated with a primary cloud (not y).
     NodeId bridge = xheal::graph::invalid_node;
-    for (NodeId v : g.nodes_sorted()) {
+    for (NodeId v : g.nodes()) {
         if (v != y && !reg.is_free(v)) bridge = v;
     }
     ASSERT_NE(bridge, xheal::graph::invalid_node);
@@ -173,7 +173,7 @@ TEST_F(TwoCloudFixture, RepeatedDeletionsKeepConnectivity) {
     // Grind the fixture down to 2 nodes; connectivity and registry
     // consistency must hold after every step.
     while (g.node_count() > 2) {
-        NodeId victim = g.nodes_sorted().front();
+        NodeId victim = g.nodes().front();
         healer->on_delete(g, victim);
         EXPECT_TRUE(xheal::graph::is_connected(g));
         healer->check_consistency(g);
@@ -189,7 +189,7 @@ TEST(XhealDegree, BoundHoldsUnderHubAttack) {
         // Hub attack: delete the max-degree node.
         NodeId worst = xheal::graph::invalid_node;
         std::size_t best = 0;
-        for (NodeId v : session.current().nodes_sorted()) {
+        for (NodeId v : session.current().nodes()) {
             if (session.current().degree(v) >= best) {
                 best = session.current().degree(v);
                 worst = v;

@@ -147,6 +147,16 @@ def main() -> int:
             if "hard_steps_per_sec_floor" in base:
                 sps_floor = max(sps_floor,
                                 float(base["hard_steps_per_sec_floor"]))
+            # A missing steps_per_sec reads as 0 and trips the floor (loud
+            # already); a missing probe_ms_per_sample would read as 0 and
+            # sail under the ceiling — call out the schema mismatch instead.
+            if "probe_ms_per_sample" in base and \
+                    "probe_ms_per_sample" not in row:
+                ok = False
+                failures.append(
+                    f"{name}: probe_ms_per_sample ceiling pinned but the "
+                    f"report row has no such field — schema mismatch, "
+                    f"refusing to default it to 0")
             pms = float(row.get("probe_ms_per_sample", 0.0))
             pms_ceiling = (float(base.get("probe_ms_per_sample", 0.0))
                            * tolerance + grace)
@@ -171,18 +181,36 @@ def main() -> int:
         if has_billing:
             # Deterministic counters: enforced at any worker count. The
             # ceilings are per-deletion amortized bills (Theorem 5 shape),
-            # so a report with zero deletions cannot vacuously pass.
-            deletions = float(row.get("deletions", 0))
-            if deletions <= 0:
+            # so a report with zero deletions cannot vacuously pass — and a
+            # row missing a pinned counter field entirely is a schema
+            # mismatch, not a zero bill: defaulting it to 0 would let a
+            # renamed/dropped field silently disarm the guard.
+            if "deletions" not in row:
+                ok = False
+                failures.append(
+                    f"{name}: billing ceiling pinned but the report row has "
+                    f"no 'deletions' field — schema mismatch, refusing to "
+                    f"default it to 0")
+                deletions = 0.0
+            else:
+                deletions = float(row["deletions"])
+            if "deletions" in row and deletions <= 0:
                 ok = False
                 failures.append(
                     f"{name}: billing ceiling pinned but the report shows 0 "
                     f"deletions — the guarded protocol never ran")
-            else:
+            elif deletions > 0:
                 for key, field in BILLING_KEYS.items():
                     if key not in base:
                         continue
-                    per = float(row.get(field, 0)) / deletions
+                    if field not in row:
+                        ok = False
+                        failures.append(
+                            f"{name}: {key} pinned but the report row has no "
+                            f"'{field}' field — schema mismatch, refusing to "
+                            f"default it to 0")
+                        continue
+                    per = float(row[field]) / deletions
                     ceiling = float(base[key])
                     pieces.append(f"{field}/del {per:>7.1f} "
                                   f"(ceiling {ceiling:g})")
@@ -191,7 +219,7 @@ def main() -> int:
                         failures.append(
                             f"{name}: {field} per deletion {per:.2f} exceeds "
                             f"the pinned ceiling {ceiling:g} "
-                            f"({row.get(field, 0)} {field} over "
+                            f"({row[field]} {field} over "
                             f"{deletions:.0f} deletions)")
 
         if not row.get("pass", False):
