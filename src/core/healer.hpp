@@ -84,6 +84,13 @@ public:
         return {};
     }
 
+    /// Number of deletions whose reconnection work is currently deferred
+    /// (staged by on_delete_staged, not yet flushed). The session's
+    /// compaction guard asserts this is zero — compacting with parked
+    /// repair units would renumber ids out from under them. Default: a
+    /// healer that never defers has nothing staged.
+    virtual std::size_t staged_count() const { return 0; }
+
     /// Id-compaction epoch (DESIGN.md decision 12): the session renumbered
     /// the live node ids through the ascending dense map `old_to_new`
     /// (indexed by old id; invalid_node marks a retired id). The graphs are

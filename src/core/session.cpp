@@ -79,6 +79,10 @@ RepairReport HealingSession::flush_staged() {
 }
 
 const std::vector<NodeId>& HealingSession::compact() {
+    // Compacting with staged repairs parked in the healer would renumber
+    // ids out from under the pending units; every caller flushes first and
+    // this guard keeps it that way.
+    XHEAL_EXPECTS(healer_->staged_count() == 0);
     // Purge: a node deleted from G is never consulted in G' again (its
     // black degree fed A(p) at deletion time), and check_reference_edges
     // only covers edges between survivors — so after the purge both graphs

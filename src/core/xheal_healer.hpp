@@ -77,6 +77,7 @@ public:
     RepairReport on_delete(graph::Graph& g, graph::NodeId v) override;
     RepairReport on_delete_staged(graph::Graph& g, graph::NodeId v) override;
     RepairReport flush_staged(graph::Graph& g) override;
+    std::size_t staged_count() const override { return pending_units_.size(); }
     void on_compact(graph::Graph& g,
                     const std::vector<graph::NodeId>& old_to_new) override;
     void check_consistency(const graph::Graph& g) const override;

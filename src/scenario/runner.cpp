@@ -7,6 +7,7 @@
 #include "core/metrics.hpp"
 #include "graph/algorithms.hpp"
 #include "scenario/probe_pipeline.hpp"
+#include "scenario/shard_engine.hpp"
 #include "spectral/expansion.hpp"
 #include "spectral/laplacian.hpp"
 
@@ -72,6 +73,8 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec, graph::Graph initial)
       session_(build_session(spec_, rng_, &initial, kappa_, registry_)) {
     session_.enable_graph_journals(journal_limit_for(session_));
 }
+
+ScenarioRunner::~ScenarioRunner() = default;
 
 ScenarioRunner::Probes ScenarioRunner::parse_probes(const ScenarioSpec& spec) {
     Probes probes;
@@ -264,6 +267,12 @@ RunResult ScenarioRunner::run() {
     TraceHasher hasher;
     Probes cadence_probes = parse_probes(spec_);
 
+    // Slot accounting starts at the initial topology: a delete-heavy first
+    // phase must not make the high-water marks miss the starting population.
+    // replay() seeds identically (compaction_test asserts the equality).
+    result.live_high_water = session_.current().node_count();
+    result.peak_slot_count = session_.current().next_id();
+
     // Resolve the probe schedule. automatic opts into the pipeline exactly
     // when cadence sampling requests probes worth taking off-thread; a
     // final-only run (sample_every == 0) or a cheap cadence keeps the
@@ -295,6 +304,22 @@ RunResult ScenarioRunner::run() {
         PhaseResult stats;
         stats.name = phase.name;
         stats.steps = phase.steps;
+        // Shard-engine lifecycle (DESIGN.md decision 13): the effective
+        // width is CLI override > phase `shards=` > spec `shards`,
+        // re-resolved at every phase entry. Width 1 tears the engine down
+        // entirely — the serial path is the exact pre-sharding code, not a
+        // one-shard engine.
+        std::size_t eff_shards = shards_override_ != 0
+                                     ? shards_override_
+                                     : phase.shards.value_or(spec_.shards);
+        if (eff_shards == 0) eff_shards = 1;
+        result.shards = std::max(result.shards, eff_shards);
+        if (eff_shards <= 1) {
+            engine_.reset();
+        } else if (engine_ == nullptr || engine_->shard_count() != eff_shards) {
+            engine_.reset();  // join the old width before spawning the new
+            engine_ = std::make_unique<ShardEngine>(session_, eff_shards, spec_.seed);
+        }
         // Per-phase seed (grammar v2): reseed the master stream at phase
         // entry, making the phase's adversary decisions independent of the
         // schedule prefix (sweeps may reorder phases without perturbation).
@@ -312,13 +337,27 @@ RunResult ScenarioRunner::run() {
         // work; one flush per k deletions (or at a sample / successful
         // insert / phase end) runs a single connect_units for the batch.
         std::size_t staged = 0;
+        // Every read of session state on the stepping thread fences the
+        // shard engine first: merge() waits out all in-flight repairs, then
+        // folds the staged per-delete reports into the phase accounting in
+        // submission order (ascending global seq — bitwise the serial
+        // accumulate order, which the order-sensitive RunningStats needs).
+        auto sync_shards = [&]() {
+            if (engine_ == nullptr) return;
+            engine_->merge([&](const ShardDelta& d) {
+                stats.totals.accumulate(d.report);
+                stats.rounds.add(static_cast<double>(d.report.rounds));
+            });
+        };
         auto flush_batch = [&]() {
+            sync_shards();
             if (staged == 0) return;
             stats.totals.accumulate(session_.flush_staged());
             staged = 0;
         };
 
         auto try_insert = [&](std::size_t step) {
+            sync_shards();  // pick_neighbors / insert_node read and mutate
             auto neighbors = inserter->pick_neighbors(session_, rng_);
             if (neighbors.empty()) return false;
             // Inserted nodes land on a healed graph (replay mirrors this
@@ -350,6 +389,7 @@ RunResult ScenarioRunner::run() {
                 else want_delete = rng_.chance(fraction);
 
                 bool did_event = false;
+                sync_shards();  // the population test and pick read session state
                 if (want_delete && session_.current().node_count() > phase.min_nodes) {
                     graph::NodeId victim = deleter->pick(session_, rng_);
                     if (victim != graph::invalid_node) {
@@ -360,14 +400,28 @@ RunResult ScenarioRunner::run() {
                         event.node = victim;
                         stats.victim_degree.add(
                             static_cast<double>(session_.reference().degree(victim)));
-                        auto report = phase.batch > 1 ? session_.stage_delete(victim)
-                                                      : session_.delete_node(victim);
-                        if (phase.batch > 1) {
-                            ++staged;
-                            if (staged >= phase.batch) flush_batch();
+                        if (engine_ != nullptr) {
+                            // The repair runs on the victim's shard; the
+                            // stepping thread overlaps the hash/trace
+                            // bookkeeping below with it. The report lands in
+                            // the shard's delta list and folds into the
+                            // phase accounting at the next sync point.
+                            engine_->submit_delete(victim, phase.batch > 1);
+                            if (phase.batch > 1) {
+                                ++staged;
+                                if (staged >= phase.batch) flush_batch();
+                            }
+                        } else {
+                            auto report = phase.batch > 1
+                                              ? session_.stage_delete(victim)
+                                              : session_.delete_node(victim);
+                            if (phase.batch > 1) {
+                                ++staged;
+                                if (staged >= phase.batch) flush_batch();
+                            }
+                            stats.totals.accumulate(report);
+                            stats.rounds.add(static_cast<double>(report.rounds));
                         }
-                        stats.totals.accumulate(report);
-                        stats.rounds.add(static_cast<double>(report.rounds));
                         ++stats.deletions;
                         hasher.add(event);
                         result.events.push_back(std::move(event));
@@ -381,6 +435,7 @@ RunResult ScenarioRunner::run() {
             }
             // Slot address-space accounting, sampled before any compaction
             // so the peak reflects the waste the epoch actually reached.
+            sync_shards();  // accounting and the compact test read session state
             result.live_high_water =
                 std::max(result.live_high_water, session_.current().node_count());
             result.peak_slot_count = std::max<std::size_t>(
@@ -401,6 +456,7 @@ RunResult ScenarioRunner::run() {
                 event.phase = static_cast<std::uint32_t>(phase_index);
                 event.node =
                     static_cast<graph::NodeId>(session_.current().node_count());
+                event.shards = static_cast<std::uint32_t>(eff_shards);
                 hasher.add(event);
                 result.events.push_back(std::move(event));
                 const std::vector<graph::NodeId>& map = session_.compact();
@@ -412,6 +468,11 @@ RunResult ScenarioRunner::run() {
                 } else {
                     probe_engine_.on_compact(map);
                 }
+                // Resharding rides the epoch: the dense renumbering changed
+                // the id span, so the contiguous shard ranges re-split over
+                // the new next_id (workers are idle — flush_batch fenced).
+                if (engine_ != nullptr)
+                    engine_->reshard(session_.current().next_id());
                 ++result.compactions;
             }
             ++global_step;
@@ -435,6 +496,9 @@ RunResult ScenarioRunner::run() {
         if (use_async) loop_probe_seconds += pipeline->drain();
         result.phases.push_back(std::move(stats));
     }
+    // Join any shard workers before the final sampling reads the session
+    // (phase end already merged every staged delta into the phase stats).
+    engine_.reset();
 
     auto t1 = std::chrono::steady_clock::now();
     // Cadence samples run inside the timed loop; subtract the sampling time
@@ -484,6 +548,38 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
         result.phases[i].name = spec_.phases[i].name;
         result.phases[i].steps = spec_.phases[i].steps;
     }
+
+    // Slot accounting mirrors run() exactly: seed from the initial topology,
+    // then sample at step boundaries only (run() samples once per step, after
+    // the step's events and before any compaction — per-event sampling here
+    // would catch mid-step population spikes run() never observes and inflate
+    // live_high_water). compaction_test asserts run/replay equality.
+    result.live_high_water = session_.current().node_count();
+    result.peak_slot_count = session_.current().next_id();
+    auto note_accounting = [&]() {
+        result.live_high_water =
+            std::max(result.live_high_water, session_.current().node_count());
+        result.peak_slot_count = std::max<std::size_t>(result.peak_slot_count,
+                                                       session_.current().next_id());
+    };
+
+    // An explicit async probe mode reaches the pipeline here just as in
+    // run(): compaction must drain the worker and permute its snapshots /
+    // warm-start state — routing it to the inline engine while a pipeline
+    // owns the probe state would corrupt the warm-start chain. `automatic`
+    // stays inline: replay takes no cadence samples, so there is nothing to
+    // overlap. Probe values are byte-identical across modes either way.
+    bool use_async = probe_mode_ == ProbeMode::async_pipeline;
+    std::optional<ProbePipeline> pipeline;
+    if (use_async)
+        pipeline.emplace([&result, this](const ProbeJob& job) {
+            MetricSample& sample = result.samples[job.sample_index];
+            if (job.want_components) sample.components = job.components;
+            if (job.want_lambda2) sample.lambda2 = job.lambda2;
+            if (job.want_stretch) sample.stretch = job.stretch;
+            sample.probe_seconds += job.worker_seconds;
+            probe_seconds_ += job.worker_seconds;
+        });
     auto t0 = std::chrono::steady_clock::now();
 
     // Batched phases: replay takes no cadence samples, but the *grouping* of
@@ -522,6 +618,11 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
     };
 
     for (const TraceEvent& event : trace.events) {
+        // A later step begins: every event of prev_step is applied, which is
+        // run()'s per-step accounting point (before any boundary flush —
+        // flush order matters only if a flush could move the counts, and
+        // run() samples pre-flush too).
+        if (have_prev && event.step > prev_step) note_accounting();
         if (staged > 0) {
             bool crossed_sample =
                 spec_.sample_every != 0 && have_prev &&
@@ -570,25 +671,30 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
             // did — no condition re-evaluation, the recorded event is the
             // canonical decision. `live` doubles as a divergence check.
             flush_batch();  // run() flushes before compacting
-            result.peak_slot_count = std::max<std::size_t>(result.peak_slot_count,
-                                                           session_.current().next_id());
+            // run() samples the step's accounting before the compact fires
+            // (the peak must reflect the waste the epoch actually reached);
+            // at this point every pre-compact event of the step is applied.
+            note_accounting();
             if (session_.current().node_count() != event.node)
                 throw std::runtime_error(
                     "replay diverged: compact at step " + std::to_string(event.step) +
                     " recorded " + std::to_string(event.node) + " live nodes, have " +
                     std::to_string(session_.current().node_count()));
-            probe_engine_.on_compact(session_.compact());
+            const std::vector<graph::NodeId>& map = session_.compact();
+            if (use_async) {
+                pipeline->drain();
+                pipeline->on_compact(map);
+            } else {
+                probe_engine_.on_compact(map);
+            }
             ++result.compactions;
         }
         hasher.add(event);
         prev_step = event.step;
         have_prev = true;
         result.steps_done = event.step + 1;
-        result.live_high_water =
-            std::max(result.live_high_water, session_.current().node_count());
-        result.peak_slot_count = std::max<std::size_t>(result.peak_slot_count,
-                                                       session_.current().next_id());
     }
+    note_accounting();  // run()'s accounting point for the final step
     flush_batch();
 
     auto t1 = std::chrono::steady_clock::now();
@@ -596,11 +702,20 @@ RunResult ScenarioRunner::replay(const Trace& trace) {
     result.events = trace.events;
 
     std::string last_phase = spec_.phases.empty() ? "" : spec_.phases.back().name;
-    result.final_sample = take_sample(result.steps_done, last_phase, final_probes());
-    result.samples.push_back(result.final_sample);
+    if (use_async) {
+        sample_async(*pipeline, result, result.steps_done, last_phase, final_probes());
+        pipeline->drain();
+        result.final_sample = result.samples.back();
+        result.probe_stall_seconds = pipeline->stall_seconds();
+        result.probe_rebuilds = pipeline->rebuilds();
+        result.probe_patched_events = pipeline->patched_events();
+    } else {
+        result.final_sample = take_sample(result.steps_done, last_phase, final_probes());
+        result.samples.push_back(result.final_sample);
+        result.probe_rebuilds = probe_engine_.probe_rebuilds();
+        result.probe_patched_events = probe_engine_.probe_patched_events();
+    }
     result.probe_seconds = probe_seconds_;
-    result.probe_rebuilds = probe_engine_.probe_rebuilds();
-    result.probe_patched_events = probe_engine_.probe_patched_events();
     result.trace_hash = hasher.value();
     result.fingerprint = graph_fingerprint(session_.current());
     evaluate_expectations(result);

@@ -1,0 +1,104 @@
+#include "scenario/shard_engine.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+namespace xheal::scenario {
+
+namespace {
+/// Salt mixed with the shard index before the splitmix64 finalizer so
+/// shard 0's stream is not the bare master seed.
+constexpr std::uint64_t shard_salt = 0x73686172645f7871ull;  // "shard_xq"
+}  // namespace
+
+ShardEngine::ShardEngine(core::HealingSession& session, std::size_t shards,
+                         std::uint64_t master_seed)
+    : session_(session) {
+    XHEAL_EXPECTS(shards >= 1);
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s)
+        shards_.push_back(std::make_unique<Shard>(
+            util::splitmix64(master_seed ^ (shard_salt + s))));
+    reshard(session_.current().next_id());
+    for (auto& sh : shards_)
+        sh->worker = std::thread([this, shard = sh.get()] { worker_loop(*shard); });
+}
+
+ShardEngine::~ShardEngine() {
+    wait_all();
+    for (auto& sh : shards_) sh->ring.push(Command{graph::invalid_node, 0, false, true});
+    for (auto& sh : shards_)
+        if (sh->worker.joinable()) sh->worker.join();
+}
+
+void ShardEngine::reshard(std::size_t slot_span) {
+    fence();
+    std::size_t s = shards_.size();
+    chunk_ = std::max<std::size_t>(1, (slot_span + s - 1) / s);
+}
+
+std::uint64_t ShardEngine::submit_delete(graph::NodeId victim, bool staged) {
+    std::uint64_t seq = submitted_++;
+    shards_[shard_of(victim)]->ring.push(Command{victim, seq, staged, false});
+    return seq;
+}
+
+void ShardEngine::wait_all() noexcept {
+    std::uint64_t target = submitted_;
+    std::uint64_t cur = applied_.load(std::memory_order_acquire);
+    while (cur < target) {
+        applied_.wait(cur, std::memory_order_acquire);
+        cur = applied_.load(std::memory_order_acquire);
+    }
+}
+
+void ShardEngine::fence() {
+    wait_all();
+    if (failed_.load(std::memory_order_acquire))
+        throw std::runtime_error("shard engine: " + error_);
+}
+
+void ShardEngine::wait_turn(std::uint64_t seq, util::Rng& rng) {
+    std::uint64_t cur = applied_.load(std::memory_order_acquire);
+    if (cur == seq) return;
+    // Bounded jittered spin first: the common case is a short handoff from
+    // the consumer one ticket ahead, and the jitter (shard-local stream,
+    // never semantic) staggers shards contending for the same cache line.
+    std::size_t spins = 16 + rng.index(48);
+    while (spins-- > 0) {
+        cur = applied_.load(std::memory_order_acquire);
+        if (cur == seq) return;
+    }
+    while (cur != seq) {
+        applied_.wait(cur, std::memory_order_acquire);
+        cur = applied_.load(std::memory_order_acquire);
+    }
+}
+
+void ShardEngine::worker_loop(Shard& shard) {
+    Command cmd;
+    for (;;) {
+        shard.ring.pop(cmd);
+        if (cmd.stop) return;
+        wait_turn(cmd.seq, shard.rng);
+        // Holding the turn: this thread is the unique session mutator until
+        // it publishes seq+1, so the apply below is data-race-free and in
+        // exactly the serial order. After a failure the stream is poisoned —
+        // later commands only advance the ticket so fence() can't deadlock.
+        if (!failed_.load(std::memory_order_relaxed)) {
+            try {
+                core::RepairReport report = cmd.staged
+                                                ? session_.stage_delete(cmd.victim)
+                                                : session_.delete_node(cmd.victim);
+                shard.deltas.push_back(ShardDelta{cmd.seq, report});
+            } catch (const std::exception& e) {
+                error_ = e.what();
+                failed_.store(true, std::memory_order_release);
+            }
+        }
+        applied_.store(cmd.seq + 1, std::memory_order_release);
+        applied_.notify_all();
+    }
+}
+
+}  // namespace xheal::scenario

@@ -1,0 +1,176 @@
+// ShardEngine — intra-session id-range sharding with a deterministic merge
+// (DESIGN.md decision 13).
+//
+// The dense post-compaction slot space [0, next_id) is partitioned into S
+// contiguous id ranges; shard i owns range [i*chunk, (i+1)*chunk) and runs
+// one consumer thread fed by its own fenced SPSC ring (util/sharded_queue.hpp).
+// The stepping thread (producer) routes each adversary deletion to the ring
+// of the victim's shard and keeps stepping — event hashing, trace recording
+// and schedule bookkeeping overlap the in-flight repair — while consumers
+// apply the deletions against the shared HealingSession and stage their
+// repair-delta accounting per shard.
+//
+// Determinism contract (the whole point): `shards=S` must be byte-identical
+// to `shards=1` — trace hash AND fingerprint — for every scenario. Two
+// rules deliver that by construction:
+//
+//   1. Ordered apply. Every submitted command carries a global sequence
+//      number; a consumer applies its command only when the applied-seq
+//      ticket reaches it (acquire wait on `applied_`, release publish
+//      after). Session mutations — and therefore every healer rng draw —
+//      happen in exactly the producer's submission order, which is the
+//      shards=1 apply order. Parallelism lives in the producer/consumer
+//      overlap and the shard-local staging, never in reordering rng draws.
+//   2. Deterministic merge. Staged per-shard deltas, keyed (shard, seq),
+//      are drained at each merge point as the ascending-seq k-way
+//      interleave of the per-shard lists (each list is seq-ascending, so
+//      ascending seq is a total order refining (shard, seq) within every
+//      shard). Phase accounting that is order-sensitive bit-for-bit
+//      (RunningStats of per-repair rounds) therefore accumulates in the
+//      serial order.
+//
+// The producer must fence() before ANY read of session state (adversary
+// picks, population-floor checks, sampling, flushes, compaction): after the
+// fence all submitted deletions are applied and visible. Resharding rides
+// the compaction epoch — reshard() recomputes the contiguous range
+// boundaries from the freshly compacted dense id span; it is producer-side
+// state only, so no consumer coordination beyond the fence is needed.
+//
+// Each shard derives a private rng stream (splitmix64 of the master seed
+// salted by the shard index). It seeds nothing semantic — consumers use it
+// only to jitter the bounded spin before parking on the ticket word, so the
+// derived streams can never perturb results (and the determinism tests
+// would catch it if they did).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/healer.hpp"
+#include "core/session.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/sharded_queue.hpp"
+
+namespace xheal::scenario {
+
+/// One applied deletion's staged repair accounting, keyed by its global
+/// submission sequence number (the merge key).
+struct ShardDelta {
+    std::uint64_t seq = 0;
+    core::RepairReport report;
+};
+
+class ShardEngine {
+public:
+    /// Spawns `shards` consumer threads over `session`. `master_seed` (the
+    /// spec seed) salts the per-shard rng derivation. Initial range
+    /// boundaries cover the session's current id span.
+    ShardEngine(core::HealingSession& session, std::size_t shards,
+                std::uint64_t master_seed);
+    ~ShardEngine();
+
+    ShardEngine(const ShardEngine&) = delete;
+    ShardEngine& operator=(const ShardEngine&) = delete;
+
+    std::size_t shard_count() const { return shards_.size(); }
+
+    /// Shard owning slot id v under the current range boundaries. Ids past
+    /// the span resharding last saw (inserts of the running epoch) fall
+    /// into the last shard — deterministic, and rebalanced at the next
+    /// compaction.
+    std::size_t shard_of(graph::NodeId v) const {
+        return std::min<std::size_t>(static_cast<std::size_t>(v) / chunk_,
+                                     shards_.size() - 1);
+    }
+
+    /// Recompute the contiguous id-range boundaries for a dense id span of
+    /// `slot_span` (next_id after a compaction). Fences first; boundaries
+    /// are producer-side routing state, so nothing else synchronizes.
+    void reshard(std::size_t slot_span);
+
+    /// Queue the deletion of `victim` on its shard (staged repair when
+    /// `staged`, mirroring session.stage_delete vs delete_node). Returns
+    /// the command's global sequence number.
+    std::uint64_t submit_delete(graph::NodeId victim, bool staged);
+
+    /// Wait until every submitted command has been applied. After this the
+    /// producer may read session state. Rethrows (as std::runtime_error)
+    /// the first exception any consumer caught while applying.
+    void fence();
+
+    /// Fence, then drain every staged delta in ascending global sequence
+    /// order through `collect` — the single deterministic merge point.
+    template <typename Collect>
+    void merge(Collect&& collect) {
+        fence();
+        if (shards_.size() == 1) {
+            for (const ShardDelta& d : shards_[0]->deltas) collect(d);
+            shards_[0]->deltas.clear();
+            return;
+        }
+        // k-way ascending-seq interleave of the per-shard lists. Seqs are
+        // globally unique and each list is already ascending, so repeatedly
+        // taking the smallest head realizes the serial accumulation order.
+        merge_heads_.assign(shards_.size(), 0);
+        for (;;) {
+            std::size_t best = shards_.size();
+            for (std::size_t s = 0; s < shards_.size(); ++s) {
+                if (merge_heads_[s] >= shards_[s]->deltas.size()) continue;
+                if (best == shards_.size() ||
+                    shards_[s]->deltas[merge_heads_[s]].seq <
+                        shards_[best]->deltas[merge_heads_[best]].seq)
+                    best = s;
+            }
+            if (best == shards_.size()) break;
+            collect(shards_[best]->deltas[merge_heads_[best]]);
+            ++merge_heads_[best];
+        }
+        for (auto& sh : shards_) sh->deltas.clear();
+    }
+
+private:
+    struct Command {
+        graph::NodeId victim = graph::invalid_node;
+        std::uint64_t seq = 0;
+        bool staged = false;
+        bool stop = false;
+    };
+
+    struct Shard {
+        explicit Shard(std::uint64_t seed) : rng(seed) {}
+        util::SpscRing<Command> ring;
+        /// Written by this shard's consumer, drained by the producer at
+        /// merge points (synchronized through the applied_ ticket).
+        std::vector<ShardDelta> deltas;
+        /// Shard-local derived stream: spin-backoff jitter only.
+        util::Rng rng;
+        std::thread worker;
+    };
+
+    void worker_loop(Shard& shard);
+    /// Consumer-side ordered-apply gate: bounded jittered spin, then park.
+    void wait_turn(std::uint64_t seq, util::Rng& rng);
+    /// fence() without the error rethrow (destructor-safe).
+    void wait_all() noexcept;
+
+    core::HealingSession& session_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::size_t chunk_ = 1;         ///< id-range width per shard (producer-only)
+    std::uint64_t submitted_ = 0;   ///< producer-only command counter
+    std::vector<std::size_t> merge_heads_;  ///< merge scratch (producer-only)
+    /// The global apply ticket: commands [0, applied_) are fully applied.
+    /// Consumers acquire-wait for their seq and release-publish seq+1; the
+    /// producer's fence acquire-loads it, which transitively orders every
+    /// session mutation before every post-fence producer read.
+    alignas(64) std::atomic<std::uint64_t> applied_{0};
+    std::atomic<bool> failed_{false};
+    std::string error_;  ///< first consumer exception (written holding the turn)
+};
+
+}  // namespace xheal::scenario

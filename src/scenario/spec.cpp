@@ -211,6 +211,7 @@ std::string ScenarioSpec::to_text() const {
     }
     if (sample_every != 0) out << "sample_every " << sample_every << "\n";
     if (stretch_samples != 8) out << "stretch_samples " << stretch_samples << "\n";
+    if (shards != 1) out << "shards " << shards << "\n";
     for (const auto& p : phases) {
         out << "phase " << p.name << " steps=" << p.steps;
         if (p.seed.has_value()) out << " seed=" << *p.seed;
@@ -220,6 +221,7 @@ std::string ScenarioSpec::to_text() const {
         if (p.drop.has_value()) out << " drop=" << *p.drop;
         if (p.latency.has_value()) out << " latency=" << *p.latency;
         if (p.compact != 0) out << " compact=" << p.compact;
+        if (p.shards.has_value()) out << " shards=" << *p.shards;
         out << " delete_fraction=" << p.delete_fraction;
         if (p.delete_fraction_end.has_value()) out << ".." << *p.delete_fraction_end;
         out << " min_nodes=" << p.min_nodes;
@@ -280,6 +282,11 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
         } else if (directive == "stretch_samples") {
             if (tokens.size() != 2) fail(line_no, "stretch_samples takes one integer");
             spec.stretch_samples = parse_u64_or_fail(tokens[1], "stretch_samples", line_no);
+        } else if (directive == "shards") {
+            if (tokens.size() != 2) fail(line_no, "shards takes one integer");
+            spec.shards = parse_u64_or_fail(tokens[1], "shards", line_no);
+            if (spec.shards < 1 || spec.shards > 256)
+                fail(line_no, "shards must be in [1, 256]");
         } else if (directive == "phase") {
             if (tokens.size() < 2) fail(line_no, "phase needs a name");
             PhaseSpec phase;
@@ -314,6 +321,11 @@ ScenarioSpec ScenarioSpec::parse(const std::string& text) {
                     phase.compact = parse_u64_or_fail(value, "compact", line_no);
                     if (phase.compact == 1)
                         fail(line_no, "compact factor must be 0 (off) or >= 2");
+                } else if (key == "shards") {
+                    std::size_t s = parse_u64_or_fail(value, "shards", line_no);
+                    if (s < 1 || s > 256)
+                        fail(line_no, "shards must be in [1, 256]");
+                    phase.shards = s;
                 } else if (key == "delete_fraction") {
                     if (value.find("..") != std::string::npos)
                         parse_ramp(value, phase, line_no);

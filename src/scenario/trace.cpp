@@ -47,6 +47,14 @@ std::uint64_t extract_u64(const std::string& line, const std::string& key,
     return v;
 }
 
+/// Optional-key variant for fields written only when non-default (the
+/// compact record's `shards`); absent keys read as `fallback`.
+std::uint64_t extract_u64_or(const std::string& line, const std::string& key,
+                             std::size_t line_no, std::uint64_t fallback) {
+    if (line.find("\"" + key + "\":") == std::string::npos) return fallback;
+    return extract_u64(line, key, line_no);
+}
+
 }  // namespace
 
 std::string hex64(std::uint64_t value) {
@@ -63,6 +71,9 @@ void TraceHasher::mix(std::uint64_t word) {
 }
 
 void TraceHasher::add(const TraceEvent& event) {
+    // event.shards is deliberately NOT mixed: the shard count is an
+    // execution-engine knob, and shards=S must hash identically to
+    // shards=1 (DESIGN.md decision 13).
     switch (event.kind) {
         case TraceEvent::Kind::insert: mix(1); break;
         case TraceEvent::Kind::remove: mix(2); break;
@@ -108,7 +119,9 @@ std::string event_to_json(const TraceEvent& e) {
         out << "]}";
     } else if (e.kind == TraceEvent::Kind::compact) {
         out << "{\"type\":\"compact\",\"step\":" << e.step << ",\"phase\":" << e.phase
-            << ",\"live\":" << e.node << "}";
+            << ",\"live\":" << e.node;
+        if (e.shards != 1) out << ",\"shards\":" << e.shards;
+        out << "}";
     } else {
         out << "{\"type\":\"delete\",\"step\":" << e.step << ",\"phase\":" << e.phase
             << ",\"node\":" << e.node << "}";
@@ -170,6 +183,7 @@ Trace read_trace(std::istream& in) {
             e.step = extract_u64(line, "step", line_no);
             e.phase = static_cast<std::uint32_t>(extract_u64(line, "phase", line_no));
             e.node = static_cast<graph::NodeId>(extract_u64(line, "live", line_no));
+            e.shards = static_cast<std::uint32_t>(extract_u64_or(line, "shards", line_no, 1));
             trace.events.push_back(std::move(e));
         } else if (type == "end") {
             std::uint64_t events = extract_u64(line, "events", line_no);

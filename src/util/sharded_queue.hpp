@@ -1,0 +1,92 @@
+// Fenced single-producer/single-consumer ring — the per-shard work queue of
+// the intra-session shard engine (DESIGN.md decision 13).
+//
+// One producer (the stepping thread) pushes commands, one consumer (a shard
+// worker) pops them. head_/tail_ are monotonically increasing counters; the
+// slot index is the counter masked by the power-of-two capacity, so
+// full/empty are distinguishable without a wasted slot. Synchronization is
+// the classic SPSC pairing: the producer's release store of tail_ publishes
+// the written slot to the consumer's acquire load, and the consumer's
+// release store of head_ publishes the freed slot back. Blocking waits park
+// on the C++20 atomic wait/notify words directly — no mutex, no condvar —
+// matching the "explicit queues and fences, not mutex soup" shape the
+// ROADMAP specifies for sharded execution.
+//
+// T must be copy-assignable; slots are reused in place, so steady-state
+// traffic allocates nothing after construction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace xheal::util {
+
+template <typename T>
+class SpscRing {
+public:
+    /// `capacity` must be a power of two >= 2.
+    explicit SpscRing(std::size_t capacity = 256) : buffer_(capacity), mask_(capacity - 1) {
+        XHEAL_EXPECTS(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    }
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    std::size_t capacity() const { return buffer_.size(); }
+
+    /// Producer side. Returns false when the ring is full.
+    bool try_push(const T& item) {
+        std::size_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail - head == buffer_.size()) return false;
+        buffer_[tail & mask_] = item;
+        tail_.store(tail + 1, std::memory_order_release);
+        tail_.notify_one();
+        return true;
+    }
+
+    /// Producer side, blocking: parks on the head counter until the
+    /// consumer frees a slot.
+    void push(const T& item) {
+        while (!try_push(item)) {
+            std::size_t head = head_.load(std::memory_order_acquire);
+            if (tail_.load(std::memory_order_relaxed) - head < buffer_.size()) continue;
+            head_.wait(head, std::memory_order_acquire);
+        }
+    }
+
+    /// Consumer side. Returns false when the ring is empty.
+    bool try_pop(T& out) {
+        std::size_t head = head_.load(std::memory_order_relaxed);
+        std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail) return false;
+        out = buffer_[head & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        head_.notify_one();
+        return true;
+    }
+
+    /// Consumer side, blocking: parks on the tail counter until the
+    /// producer publishes a command.
+    void pop(T& out) {
+        while (!try_pop(out)) {
+            std::size_t tail = tail_.load(std::memory_order_acquire);
+            if (head_.load(std::memory_order_relaxed) != tail) continue;
+            tail_.wait(tail, std::memory_order_acquire);
+        }
+    }
+
+private:
+    std::vector<T> buffer_;
+    std::size_t mask_;
+    // Monotone counters (not wrapped indices): empty iff head == tail, full
+    // iff tail - head == capacity. Padded apart so the producer's tail
+    // stores and the consumer's head stores do not false-share.
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace xheal::util

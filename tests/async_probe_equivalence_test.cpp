@@ -111,6 +111,47 @@ TEST(AsyncProbeEquivalence, PhasedChurnAutomaticResolvesAsync) {
     expect_identical(inline_r, auto_r);
 }
 
+// Replay must honor the probe mode too, including across compaction
+// epochs: when the pipeline owns the probe engine, the compact remap has
+// to be routed through ProbePipeline::on_compact (after a drain) rather
+// than poking the inline engine the worker never reads — the regression
+// this pins left the worker's CSR snapshot on the old id numbering, so
+// the final lambda2 of an async replay diverged from the inline one.
+TEST(AsyncProbeEquivalence, ReplayRoutesCompactionThroughPipeline) {
+    auto spec = scenario::ScenarioSpec::parse(R"(
+name replay-compact-async
+seed 23
+topology random-regular n=64 d=4
+healer xheal d=2
+probes connected lambda2
+sample_every 0
+phase churn steps=160 delete_fraction=0.6 deleter=random inserter=random-attach k=3 min_nodes=24 compact=2
+expect connected
+expect lambda2 >= 0.01
+)");
+    auto recorded = run_with_mode(spec, scenario::ProbeMode::inline_only);
+    ASSERT_GE(recorded.compactions, 1u)
+        << "spec never compacted — the pipeline remap path is untested";
+    auto trace = recorded.to_trace(spec);
+
+    scenario::ScenarioRunner inline_runner(spec);
+    inline_runner.set_probe_mode(scenario::ProbeMode::inline_only);
+    auto inline_r = inline_runner.replay(trace);
+
+    scenario::ScenarioRunner async_runner(spec);
+    async_runner.set_probe_mode(scenario::ProbeMode::async_pipeline);
+    auto async_r = async_runner.replay(trace);
+
+    expect_identical(inline_r, async_r);
+    EXPECT_EQ(async_r.trace_hash, recorded.trace_hash);
+    EXPECT_EQ(async_r.fingerprint, recorded.fingerprint);
+    EXPECT_EQ(async_r.compactions, recorded.compactions);
+    ASSERT_FALSE(std::isnan(async_r.final_sample.lambda2));
+    EXPECT_PRED_FORMAT2(bit_equal, async_r.final_sample.lambda2,
+                        recorded.final_sample.lambda2);
+    EXPECT_EQ(async_r.failures, recorded.failures);
+}
+
 // Warm-start accuracy pin: the async worker's warm-started lambda2 on the
 // final healed graph must agree with a cold fresh-engine solve to probe
 // tolerance. Guards against the warm chain drifting onto a stale Ritz

@@ -135,7 +135,7 @@ TEST_F(CliContract, BatchExitCodes) {
     std::ifstream report(json);
     std::string body((std::istreambuf_iterator<char>(report)),
                      std::istreambuf_iterator<char>());
-    EXPECT_NE(body.find("\"schema\": \"xheal-batch-v3\""), std::string::npos);
+    EXPECT_NE(body.find("\"schema\": \"xheal-batch-v4\""), std::string::npos);
     EXPECT_NE(body.find("\"jobs\": 1"), std::string::npos);
     EXPECT_NE(body.find("\"trace_hash\""), std::string::npos);
     // v3 billing columns are always present (0 for local healers).

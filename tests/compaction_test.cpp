@@ -260,6 +260,39 @@ TEST(CompactionScenario, ReplayReproducesAcrossCompactionBoundaries) {
     EXPECT_EQ(replayed.compactions, recorded.compactions);
 }
 
+TEST(CompactionScenario, ReplayMatchesRunSlotAccounting) {
+    // peak_slot_count / live_high_water are the numerator and denominator
+    // of the `expect peak_slot_factor <=` bound — replay must keep the
+    // same per-step accounting discipline as run() (seeded from the
+    // initial topology, sampled at step boundaries before compaction
+    // fires), or a replayed trace could pass an expectation the recorded
+    // run failed.
+    auto s = compact_churn_spec();
+    auto recorded = ScenarioRunner(s).run();
+    ASSERT_GE(recorded.compactions, 1u);
+    ASSERT_GT(recorded.peak_slot_count, 0u);
+    ASSERT_GT(recorded.live_high_water, 0u);
+    auto replayed = ScenarioRunner(s).replay(recorded.to_trace(s));
+    EXPECT_EQ(replayed.peak_slot_count, recorded.peak_slot_count);
+    EXPECT_EQ(replayed.live_high_water, recorded.live_high_water);
+    EXPECT_EQ(replayed.failures, recorded.failures);
+
+    // And on a compaction-free spec, where the peak is just the issuance
+    // high-water mark — the two paths must still agree exactly.
+    auto plain = ScenarioSpec::parse(R"(
+name no-compact-accounting
+seed 17
+topology erdos-renyi n=40 p=0.15
+healer xheal d=2
+phase churn steps=80 delete_fraction=0.6 deleter=random inserter=random-attach k=3 min_nodes=12
+expect connected
+)");
+    auto run_r = ScenarioRunner(plain).run();
+    auto rep_r = ScenarioRunner(plain).replay(run_r.to_trace(plain));
+    EXPECT_EQ(rep_r.peak_slot_count, run_r.peak_slot_count);
+    EXPECT_EQ(rep_r.live_high_water, run_r.live_high_water);
+}
+
 TEST(CompactionScenario, TraceJsonlRoundTripsCompactEvents) {
     auto s = compact_churn_spec();
     auto recorded = ScenarioRunner(s).run();

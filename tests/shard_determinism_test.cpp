@@ -1,0 +1,339 @@
+// Shard-engine determinism (DESIGN.md decision 13): the intra-session
+// id-range shard engine must be invisible in every deterministic output.
+// Running any spec at shards=S must produce byte-identical trace hashes,
+// fingerprints, metric samples (bitwise for doubles) and verdicts to the
+// serial shards=1 path — across the bundled scenarios, the tournament
+// pack's healers (in-process and message-passing), and through compaction
+// epochs where the engine reshards onto the renumbered id space.
+//
+// This suite (with async_probe_equivalence_test and
+// batch_jobs_determinism_test) is part of the CI tsan job's workload: the
+// per-shard SPSC rings and the ordered-apply ticket are exercised under
+// -fsanitize=thread for real.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/trace.hpp"
+
+namespace xheal {
+namespace {
+
+using scenario::ScenarioRunner;
+using scenario::ScenarioSpec;
+using scenario::Trace;
+using scenario::TraceEvent;
+
+std::string spec_path(const std::string& file) {
+    return std::string(XHEAL_REPO_DIR) + "/scenarios/" + file;
+}
+
+// Bitwise double equality, NaN-tolerant (NaN means "not sampled" and must
+// stay NaN at every width). Tolerance compares would paper over a shard
+// consumer perturbing a probe value.
+::testing::AssertionResult bit_equal(const char* a_expr, const char* b_expr,
+                                     double a, double b) {
+    std::uint64_t ab, bb;
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::memcpy(&ab, &a, sizeof a);
+    std::memcpy(&bb, &b, sizeof b);
+    if (ab == bb || (std::isnan(a) && std::isnan(b)))
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a_expr << " = " << a << " vs " << b_expr << " = " << b
+           << " (bit patterns differ)";
+}
+
+scenario::RunResult run_with_shards(const ScenarioSpec& spec,
+                                    std::size_t shards) {
+    ScenarioRunner runner(spec);
+    if (shards != 0) runner.set_shards(shards);
+    return runner.run();
+}
+
+// Every deterministic field must match the serial run exactly; `shards`
+// itself is the one reporting field allowed to differ.
+void expect_identical(const scenario::RunResult& serial,
+                      const scenario::RunResult& sharded) {
+    EXPECT_EQ(serial.trace_hash, sharded.trace_hash);
+    EXPECT_EQ(serial.fingerprint, sharded.fingerprint);
+    EXPECT_EQ(serial.steps_done, sharded.steps_done);
+    EXPECT_EQ(serial.events.size(), sharded.events.size());
+    EXPECT_EQ(serial.compactions, sharded.compactions);
+    EXPECT_EQ(serial.peak_slot_count, sharded.peak_slot_count);
+    EXPECT_EQ(serial.live_high_water, sharded.live_high_water);
+    EXPECT_EQ(serial.failures, sharded.failures);
+    ASSERT_EQ(serial.phases.size(), sharded.phases.size());
+    for (std::size_t i = 0; i < serial.phases.size(); ++i) {
+        const auto& a = serial.phases[i];
+        const auto& b = sharded.phases[i];
+        SCOPED_TRACE("phase " + a.name);
+        EXPECT_EQ(a.deletions, b.deletions);
+        EXPECT_EQ(a.insertions, b.insertions);
+        EXPECT_EQ(a.skipped, b.skipped);
+        EXPECT_EQ(a.totals.messages, b.totals.messages);
+        EXPECT_EQ(a.totals.rounds, b.totals.rounds);
+        EXPECT_EQ(a.totals.retries, b.totals.retries);
+        // Welford over per-deletion rounds is add-order sensitive — bitwise
+        // equality here proves the merge realizes the serial apply order.
+        EXPECT_PRED_FORMAT2(bit_equal, a.rounds.mean(), b.rounds.mean());
+        EXPECT_PRED_FORMAT2(bit_equal, a.rounds.stddev(), b.rounds.stddev());
+        EXPECT_PRED_FORMAT2(bit_equal, a.victim_degree.mean(),
+                            b.victim_degree.mean());
+    }
+    ASSERT_EQ(serial.samples.size(), sharded.samples.size());
+    for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+        const auto& a = serial.samples[i];
+        const auto& b = sharded.samples[i];
+        SCOPED_TRACE("sample " + std::to_string(i) + " @step " +
+                     std::to_string(a.step));
+        EXPECT_EQ(a.step, b.step);
+        EXPECT_EQ(a.nodes, b.nodes);
+        EXPECT_EQ(a.edges, b.edges);
+        EXPECT_EQ(a.deletions, b.deletions);
+        EXPECT_EQ(a.insertions, b.insertions);
+        EXPECT_EQ(a.messages, b.messages);
+        EXPECT_EQ(a.rounds, b.rounds);
+        EXPECT_EQ(a.retries, b.retries);
+        EXPECT_EQ(a.components, b.components);
+        EXPECT_EQ(a.max_degree, b.max_degree);
+        EXPECT_PRED_FORMAT2(bit_equal, a.max_degree_ratio, b.max_degree_ratio);
+        EXPECT_PRED_FORMAT2(bit_equal, a.worst_slack_ratio, b.worst_slack_ratio);
+        EXPECT_PRED_FORMAT2(bit_equal, a.expansion, b.expansion);
+        EXPECT_PRED_FORMAT2(bit_equal, a.lambda2, b.lambda2);
+        EXPECT_PRED_FORMAT2(bit_equal, a.stretch, b.stretch);
+    }
+}
+
+// Every bundled scenario at widths 1 / 2 / 8. Width 8 over these small
+// populations leaves most shards near-empty — the merge must interleave
+// heavily uneven delta streams and still reproduce the serial order.
+TEST(ShardDeterminism, BundledScenariosAcrossWidths) {
+    const char* files[] = {"star_collapse.scn", "phased_churn.scn",
+                           "bridge_hunter.scn", "p2p_churn.scn",
+                           "hub_assault.scn",   "batch_failures.scn"};
+    for (const char* file : files) {
+        SCOPED_TRACE(file);
+        auto spec = ScenarioSpec::parse_file(spec_path(file));
+        auto serial = run_with_shards(spec, 1);
+        auto two = run_with_shards(spec, 2);
+        auto eight = run_with_shards(spec, 8);
+        EXPECT_EQ(serial.shards, 1u);
+        EXPECT_EQ(two.shards, 2u);
+        EXPECT_EQ(eight.shards, 8u);
+        expect_identical(serial, two);
+        expect_identical(serial, eight);
+        EXPECT_TRUE(serial.passed())
+            << (serial.failures.empty() ? "" : serial.failures[0]);
+    }
+}
+
+// The seam the bugfix sweep exists for: compaction renumbers the id space
+// mid-phase, the engine reshards onto the new dense range, and subsequent
+// victims must land on (possibly different) shards without perturbing the
+// stream. compact=2 on a 40-node graph fires many epochs per run.
+ScenarioSpec compact_churn_spec() {
+    return ScenarioSpec::parse(R"(
+name shard-compact-churn
+seed 11
+topology erdos-renyi n=40 p=0.15
+healer xheal d=2
+phase churn steps=160 delete_fraction=0.6 deleter=random inserter=random-attach k=3 min_nodes=12 compact=2
+expect connected
+expect peak_slot_factor <= 4
+)");
+}
+
+TEST(ShardDeterminism, ReshardAtCompactionBoundaries) {
+    auto spec = compact_churn_spec();
+    auto serial = run_with_shards(spec, 1);
+    auto sharded = run_with_shards(spec, 8);
+    ASSERT_GE(serial.compactions, 1u)
+        << "spec never triggered a compaction — the reshard path is untested";
+    expect_identical(serial, sharded);
+
+    // The compact events record the width that closed each epoch (reporting
+    // metadata only — the streams above already hashed identically).
+    for (const TraceEvent& e : serial.events)
+        if (e.kind == TraceEvent::Kind::compact) EXPECT_EQ(e.shards, 1u);
+    std::size_t compact_events = 0;
+    for (const TraceEvent& e : sharded.events)
+        if (e.kind == TraceEvent::Kind::compact) {
+            EXPECT_EQ(e.shards, 8u);
+            ++compact_events;
+        }
+    EXPECT_EQ(compact_events, sharded.compactions);
+}
+
+// A batched delete phase (batch=4): shard consumers stage deletions and
+// the healer repairs at flush points; the staged/flush seam must merge in
+// the same order the serial path flushes.
+TEST(ShardDeterminism, BatchedDeletesAcrossWidths) {
+    auto spec = ScenarioSpec::parse(R"(
+name shard-batch-churn
+seed 29
+topology random-regular n=64 d=4
+healer xheal d=2
+phase churn steps=120 delete_fraction=0.7 batch=4 deleter=random inserter=random-attach k=3 min_nodes=24 compact=3
+expect connected
+)");
+    auto serial = run_with_shards(spec, 1);
+    auto sharded = run_with_shards(spec, 4);
+    ASSERT_GE(serial.compactions, 1u);
+    expect_identical(serial, sharded);
+}
+
+// Every tournament healer — including the message-passing xheal-dist,
+// whose Theorem-5 billing counters ride the staged RepairReports through
+// the merge — at width 4 vs the serial path.
+TEST(ShardDeterminism, TournamentHealersAcrossWidths) {
+    const char* files[] = {"cycle.scn",        "forgiving_tree.scn",
+                           "no_heal.scn",      "random_match.scn",
+                           "xheal.scn",        "xheal_dist.scn"};
+    for (const char* file : files) {
+        SCOPED_TRACE(file);
+        auto spec = ScenarioSpec::parse_file(
+            std::string(XHEAL_REPO_DIR) + "/scenarios/packs/tournament/" + file);
+        auto serial = run_with_shards(spec, 1);
+        auto sharded = run_with_shards(spec, 4);
+        expect_identical(serial, sharded);
+        EXPECT_EQ(serial.final_sample.messages, sharded.final_sample.messages);
+        EXPECT_EQ(serial.final_sample.rounds, sharded.final_sample.rounds);
+        EXPECT_EQ(serial.final_sample.retries, sharded.final_sample.retries);
+    }
+}
+
+// A sharded run's trace must replay byte-for-byte on the (always-serial)
+// replay path, and a serial trace must replay regardless of what width
+// recorded it — shard counts are interchangeable across record/replay.
+TEST(ShardDeterminism, ShardedTraceReplaysSerially) {
+    auto spec = compact_churn_spec();
+    auto recorded = run_with_shards(spec, 8);
+    ASSERT_GE(recorded.compactions, 1u);
+    auto trace = recorded.to_trace(spec);
+    auto replayed = ScenarioRunner(spec).replay(trace);
+    EXPECT_EQ(replayed.trace_hash, recorded.trace_hash);
+    EXPECT_EQ(replayed.fingerprint, recorded.fingerprint);
+    EXPECT_EQ(replayed.compactions, recorded.compactions);
+}
+
+// JSONL round trip preserves the compact events' `"shards"` field, and the
+// hasher ignores it: two events differing only in width hash identically
+// (the on-disk contract that lets sharded and serial traces diff clean).
+TEST(ShardDeterminism, TraceSerializationCarriesShardsOutsideTheHash) {
+    auto spec = compact_churn_spec();
+    auto recorded = run_with_shards(spec, 8);
+    ASSERT_GE(recorded.compactions, 1u);
+    auto trace = recorded.to_trace(spec);
+    std::ostringstream out;
+    scenario::write_trace(out, trace);
+    EXPECT_NE(out.str().find("\"shards\":8"), std::string::npos);
+    std::istringstream in(out.str());
+    Trace back = scenario::read_trace(in);
+    ASSERT_EQ(back.events.size(), trace.events.size());
+    for (std::size_t i = 0; i < trace.events.size(); ++i)
+        EXPECT_EQ(back.events[i].shards, trace.events[i].shards);
+
+    TraceEvent serial_event;
+    serial_event.kind = TraceEvent::Kind::compact;
+    serial_event.step = 7;
+    serial_event.phase = 1;
+    serial_event.node = 48;
+    TraceEvent sharded_event = serial_event;
+    sharded_event.shards = 8;
+    scenario::TraceHasher ha, hb;
+    ha.add(serial_event);
+    hb.add(sharded_event);
+    EXPECT_EQ(ha.value(), hb.value());
+    // And the width-1 event serializes without the field at all — the
+    // byte-identity guarantee for every pre-sharding golden trace.
+    EXPECT_EQ(scenario::event_to_json(serial_event).find("shards"),
+              std::string::npos);
+    EXPECT_NE(scenario::event_to_json(sharded_event).find("\"shards\":8"),
+              std::string::npos);
+}
+
+// Grammar round trip: top-level `shards` and per-phase `shards=` survive
+// parse(to_text()), the default is omitted (content_hash of pre-sharding
+// specs unchanged), and out-of-range widths are rejected.
+TEST(ShardDeterminism, SpecGrammarRoundTripsShards) {
+    auto spec = ScenarioSpec::parse(R"(
+name shard-grammar
+seed 5
+topology cycle n=16
+healer xheal d=2
+shards 4
+phase a steps=10 delete_fraction=0.5 deleter=random inserter=random-attach k=2 min_nodes=8
+phase b steps=10 delete_fraction=0.5 shards=2 deleter=random inserter=random-attach k=2 min_nodes=8
+)");
+    EXPECT_EQ(spec.shards, 4u);
+    ASSERT_EQ(spec.phases.size(), 2u);
+    EXPECT_FALSE(spec.phases[0].shards.has_value());
+    ASSERT_TRUE(spec.phases[1].shards.has_value());
+    EXPECT_EQ(*spec.phases[1].shards, 2u);
+    auto reparsed = ScenarioSpec::parse(spec.to_text());
+    EXPECT_EQ(reparsed.shards, 4u);
+    EXPECT_EQ(reparsed.content_hash(), spec.content_hash());
+
+    auto plain = ScenarioSpec::parse(R"(
+name shard-grammar-default
+seed 5
+topology cycle n=16
+healer xheal d=2
+phase a steps=10 delete_fraction=0.5 deleter=random inserter=random-attach k=2 min_nodes=8
+)");
+    EXPECT_EQ(plain.shards, 1u);
+    EXPECT_EQ(plain.to_text().find("shards"), std::string::npos);
+
+    EXPECT_THROW(ScenarioSpec::parse("name x\nseed 1\ntopology cycle n=8\n"
+                                     "healer xheal d=2\nshards 0\n"
+                                     "phase a steps=1 delete_fraction=1 "
+                                     "deleter=random inserter=random-attach "
+                                     "k=2 min_nodes=4\n"),
+                 std::runtime_error);
+    EXPECT_THROW(ScenarioSpec::parse("name x\nseed 1\ntopology cycle n=8\n"
+                                     "healer xheal d=2\nshards 257\n"
+                                     "phase a steps=1 delete_fraction=1 "
+                                     "deleter=random inserter=random-attach "
+                                     "k=2 min_nodes=4\n"),
+                 std::runtime_error);
+}
+
+// The spec's own width (no CLI override): `shards 4` in the text drives
+// the engine, a per-phase `shards=1` drops back to the serial path
+// mid-run, and the result still matches an all-serial run byte for byte.
+TEST(ShardDeterminism, SpecDrivenWidthsAndMidRunTeardown) {
+    const char* body = R"(
+name shard-spec-driven
+seed 61
+topology random-regular n=48 d=4
+healer xheal d=2
+{SHARDS}phase a steps=60 delete_fraction=0.6 deleter=random inserter=random-attach k=3 min_nodes=20 compact=3
+phase b steps=60 delete_fraction=0.6 {PHASE}deleter=random inserter=random-attach k=3 min_nodes=20 compact=3
+expect connected
+)";
+    auto instantiate = [&](const std::string& top, const std::string& phase) {
+        std::string text = body;
+        text.replace(text.find("{SHARDS}"), 8, top);
+        text.replace(text.find("{PHASE}"), 7, phase);
+        return ScenarioSpec::parse(text);
+    };
+    auto serial = ScenarioRunner(instantiate("", "")).run();
+    auto sharded = ScenarioRunner(instantiate("shards 4\n", "")).run();
+    auto mixed = ScenarioRunner(instantiate("shards 4\n", "shards=1 ")).run();
+    EXPECT_EQ(serial.shards, 1u);
+    EXPECT_EQ(sharded.shards, 4u);
+    EXPECT_EQ(mixed.shards, 4u);  // max width across phases
+    expect_identical(serial, sharded);
+    expect_identical(serial, mixed);
+}
+
+}  // namespace
+}  // namespace xheal
